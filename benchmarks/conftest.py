@@ -1,0 +1,20 @@
+"""Shared benchmark helpers.
+
+Each benchmark runs one experiment harness end-to-end (quick-sized, one
+seed), reports its wall-clock via pytest-benchmark, prints the
+regenerated table, and asserts the qualitative *shape* the paper reports
+(who wins, monotonicity, where the knee falls) -- absolute numbers are
+simulator-dependent and are recorded in EXPERIMENTS.md instead.
+"""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, runner, **kwargs):
+    """Benchmark one experiment runner and print its table."""
+    kwargs.setdefault("quick", True)
+    result = benchmark.pedantic(lambda: runner(**kwargs),
+                                rounds=1, iterations=1)
+    print()
+    print(result.format())
+    return result

@@ -1,0 +1,15 @@
+"""Bench X2: ablations of OSU-MAC's design choices (extension)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import ablation
+
+
+def test_design_ablations(benchmark):
+    result = run_and_report(benchmark, ablation.run, seeds=(1,))
+    rows = {row[0]: row for row in result.rows}
+    # Two CF sets beat one at saturation (the last slot is recovered).
+    assert rows["two CF sets (rho=1.1)"][1] \
+        > rows["single CF set (rho=1.1)"][1]
+    # Dynamic adjustment beats static format 1 with one GPS user.
+    assert rows["dynamic adjustment (1 GPS, rho=1.1)"][1] \
+        > rows["static format 1 (1 GPS, rho=1.1)"][1] * 1.05

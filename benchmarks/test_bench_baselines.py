@@ -1,0 +1,19 @@
+"""Bench X1: the surveyed baseline MAC protocols (extension)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import baselines
+
+
+def test_surveyed_baselines(benchmark):
+    result = run_and_report(benchmark, baselines.run, seeds=(1,))
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    heavy = 0.25
+    # The survey's qualitative ordering at heavy load:
+    rama = by_key[(heavy, "rama")][2]
+    dtdma = by_key[(heavy, "dtdma")][2]
+    prma = by_key[(heavy, "prma")][2]
+    aloha = by_key[(heavy, "aloha")][2]
+    assert rama >= dtdma  # deterministic auctions never waste minislots
+    assert rama > prma  # reservation beats pure contention under load
+    assert prma > aloha  # even PRMA beats pure slotted ALOHA
+    assert aloha < 0.42  # ALOHA capped near 1/e

@@ -1,0 +1,15 @@
+"""Bench C1: symbol-level error models -> outage-rate calibration."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import calibration
+
+
+def test_error_model_calibration(benchmark):
+    result = run_and_report(benchmark, calibration.run)
+    rows = {row[0]: row[1] for row in result.rows}
+    # The RS(64,48) cliff: light iid noise is essentially lossless,
+    # 10% symbol errors (expected 6.4 per codeword, tail past t=8) lose
+    # a substantial fraction.
+    assert rows["iid SER=0.5%"] < 0.01
+    assert rows["iid SER=10%"] > 0.1
+    assert rows["iid SER=2%"] <= rows["iid SER=5%"] <= rows["iid SER=10%"]

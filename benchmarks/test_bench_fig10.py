@@ -1,0 +1,20 @@
+"""Bench F10: contention collisions and reservation latency (Fig. 10)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig10_collision
+
+
+def test_fig10_collision_and_latency(benchmark):
+    result = run_and_report(benchmark, fig10_collision.run,
+                            seeds=(1, 2))
+    loads = result.series("load")
+    collisions = result.series("p_collision")
+    latency = result.series("reservation_latency_cycles")
+    # Shape: the contention-heavy mid-load regime dominates; at heavy
+    # load piggybacking leaves little contention, so both metrics fall
+    # from their mid-load peak.
+    mid = max(collisions[loads.index(0.5)], collisions[loads.index(0.8)])
+    heavy = collisions[loads.index(1.1)]
+    assert heavy <= mid + 0.1
+    assert all(value >= 1.0 or value == 0.0 for value in latency)
+    assert latency[loads.index(1.1)] <= max(latency) + 1e-9

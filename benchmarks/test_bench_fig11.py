@@ -1,0 +1,15 @@
+"""Bench F11: Jain fairness index vs load (Fig. 11)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig11_fairness
+
+
+def test_fig11_fairness(benchmark):
+    result = run_and_report(benchmark, fig11_fairness.run, seeds=(1,))
+    loads = result.series("load")
+    fairness = result.series("fairness")
+    # Round-robin keeps the index near 1 wherever the scheduler (not
+    # arrival sampling noise) is in charge, i.e. at and past saturation.
+    assert fairness[loads.index(1.0)] > 0.97
+    assert fairness[loads.index(1.1)] > 0.97
+    assert all(value > 0.80 for value in fairness)

@@ -1,0 +1,29 @@
+"""Benches F8a/F8b: utilization and delay vs load (Fig. 8)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig8_delay, fig8_utilization
+
+
+def test_fig8a_utilization(benchmark):
+    result = run_and_report(benchmark, fig8_utilization.run,
+                            seeds=(1,))
+    loads = result.series("load")
+    utilization = result.series("utilization")
+    # Shape: tracks the load at rho <= 0.8 ...
+    for load, value in zip(loads, utilization):
+        if load <= 0.8:
+            assert abs(value - load) < 0.1
+    # ... saturates below the 8/9 structural ceiling beyond.
+    assert max(utilization) <= 8 / 9 + 0.03
+    assert utilization[-1] > 0.8
+
+
+def test_fig8b_delay(benchmark):
+    result = run_and_report(benchmark, fig8_delay.run, seeds=(1,))
+    delays = result.series("delay_cycles")
+    loads = result.series("load")
+    # Shape: a few cycles at light load, blow-up at/after the knee.
+    light = delays[loads.index(0.3)]
+    heavy = delays[loads.index(1.1)]
+    assert light < 8
+    assert heavy > 3 * light

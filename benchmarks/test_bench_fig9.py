@@ -1,0 +1,16 @@
+"""Bench F9: control overhead vs load (Fig. 9)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig9_overhead
+
+
+def test_fig9_control_overhead(benchmark):
+    result = run_and_report(benchmark, fig9_overhead.run, seeds=(1,))
+    loads = result.series("load")
+    overhead = result.series("control_overhead")
+    # The paper's counter-intuitive finding: overhead *decreases* with
+    # load (piggybacking displaces explicit reservation packets).
+    light = overhead[loads.index(0.3)]
+    heavy = overhead[loads.index(1.1)]
+    assert heavy < 0.5 * light
+    assert all(value >= 0 for value in overhead)

@@ -1,0 +1,15 @@
+"""Bench Q1: GPS access-delay QoS, steady state and under churn."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import gps_qos
+
+
+def test_gps_access_delay(benchmark):
+    result = run_and_report(benchmark, gps_qos.run, seeds=(1,))
+    for row in result.rows:
+        scenario, sent, misses, max_delay, reassignments = row
+        assert sent > 100
+        assert misses == 0  # the paper's hard 4 s guarantee
+        assert max_delay < 4.0
+        if scenario.startswith("churn"):
+            assert reassignments > 0  # R3 consolidation actually fired

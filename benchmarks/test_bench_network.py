@@ -1,0 +1,43 @@
+"""Bench N1: multi-cell network with inter-cell traffic and handoffs.
+
+Not a paper artifact (the paper evaluates one cell); this benchmarks the
+wide-area layer the paper's system model describes -- backbone
+forwarding, end-to-end delivery, handoff -- at a fixed scenario so its
+cost and behaviour are tracked.
+"""
+
+from repro.core.config import CellConfig
+from repro.network import MultiCellConfig, build_network
+from repro.phy import timing
+
+
+def test_three_cell_network_with_handoffs(benchmark):
+    def scenario():
+        config = MultiCellConfig(
+            num_cells=3,
+            cell=CellConfig(num_data_users=5, num_gps_users=2,
+                            load_index=0.0, cycles=100,
+                            warmup_cycles=15, seed=4),
+            load_index=0.4, inter_cell_fraction=0.6, seed=4)
+        network = build_network(config)
+        roamer = network.cells[0].data_users[0]
+        network.handoff(roamer.ein, 1,
+                        at_time=40 * timing.CYCLE_LENGTH)
+        network.handoff(roamer.ein, 2,
+                        at_time=70 * timing.CYCLE_LENGTH)
+        stats = network.run()
+        return network, stats
+
+    network, stats = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print()
+    print(f"messages routed    : {stats.messages_routed}")
+    print(f"over the backbone  : {stats.messages_forwarded}")
+    print(f"end-to-end delay   : {stats.end_to_end_delay.mean:.1f} s "
+          f"mean ({stats.end_to_end_delay.count} delivered)")
+    print(f"handoffs completed : {stats.handoffs_completed}")
+    assert stats.handoffs_completed == 2
+    assert stats.messages_forwarded > 20
+    assert stats.end_to_end_delay.count > 30
+    for cell in network.cells:
+        assert cell.stats.radio_violations == 0
+        assert cell.stats.gps_deadline_misses == 0

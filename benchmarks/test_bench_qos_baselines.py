@@ -1,0 +1,41 @@
+"""Bench X3: RQMA retransmission sessions and FAMA overhead scaling."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import qos_baselines
+
+
+def test_rqma_retransmission_sessions(benchmark):
+    result = run_and_report(benchmark, qos_baselines.run_rqma,
+                            seeds=(1,))
+    by_key = {(row[0], row[1]): row[2] for row in result.rows}
+    # Clean channel: both variants meet essentially every deadline.
+    assert by_key[(0.0, "with rtx session")] < 0.02
+    # Lossy channel: the retransmission session halves misses (at least).
+    for error_rate in (0.10, 0.20):
+        with_rtx = by_key[(error_rate, "with rtx session")]
+        without = by_key[(error_rate, "no rtx session")]
+        assert with_rtx < 0.5 * without
+
+
+def test_fama_overhead_amortization(benchmark):
+    result = run_and_report(benchmark, qos_baselines.run_fama,
+                            seeds=(1,))
+    fama = {row[0]: row[2] for row in result.rows
+            if row[1] == "fama"}
+    aloha = next(row[2] for row in result.rows
+                 if row[1] == "slotted aloha")
+    # Longer packets amortize the RTS/CTS overhead.
+    assert fama[50] > fama[10] > fama[2]
+    # With long packets FAMA crushes ALOHA's 1/e ceiling.
+    assert fama[50] > 0.7
+    assert aloha < 0.42
+
+
+def test_mcns_piggyback_mirrors_fig9(benchmark):
+    result = run_and_report(benchmark, qos_baselines.run_mcns,
+                            seeds=(1,))
+    fractions = result.series("piggyback_fraction")
+    # Piggyback share grows with load -- the DOCSIS analogue of OSU-MAC's
+    # Fig. 9 (implicit reservations displace contention under load).
+    assert fractions[-1] > 2 * max(fractions[0], 0.05)
+    assert fractions == sorted(fractions) or fractions[-1] > fractions[0]

@@ -1,0 +1,16 @@
+"""Bench R1: registration latency vs the Section 2.1 design goals."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import registration
+
+
+def test_registration_latency_cdf(benchmark):
+    result = run_and_report(benchmark, registration.run, seeds=(1, 2))
+    # Design goals hold in the sparse (Poisson) arrival regime.
+    for row in result.rows:
+        label, _registered, _mean, cdf2, cdf10 = row
+        if label.startswith("poisson (0.05"):
+            assert cdf2 >= 0.8
+            assert cdf10 >= 0.95
+        # Every scenario eventually registers everyone.
+        assert row[1] == 22  # 14 data + 8 GPS subscribers

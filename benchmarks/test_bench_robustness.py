@@ -1,0 +1,19 @@
+"""Bench R2: parameter robustness across the paper's sweep ranges."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import robustness
+
+
+def test_parameter_robustness(benchmark):
+    result = run_and_report(benchmark, robustness.run, seeds=(1,))
+    for row in result.rows:
+        (_data_users, _gps_users, _size, utilization, _delay,
+         fairness, gps_misses, violations) = row
+        # Section 5's robustness claim: the qualitative conclusions hold
+        # at every parameter combination the paper sweeps.
+        assert abs(utilization - 0.7) < 0.12
+        # Finite-run Poisson sampling bounds fairness from below here;
+        # the full-size run (3 seeds, 400 cycles) sits above 0.9.
+        assert fairness > 0.80
+        assert gps_misses == 0
+        assert violations == 0

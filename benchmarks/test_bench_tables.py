@@ -1,0 +1,14 @@
+"""Benches T1/T2: regenerate the paper's parameter tables."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import tables
+
+
+def test_table1(benchmark):
+    result = run_and_report(benchmark, tables.run_table1)
+    assert result.extra["mismatches"] == []
+
+
+def test_table2(benchmark):
+    result = run_and_report(benchmark, tables.run_table2)
+    assert result.extra["mismatches"] == []

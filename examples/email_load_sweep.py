@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""E-mail workload: sweep the load index like the paper's Fig. 8.
+
+Nine data subscribers send variable-length e-mails (uniform 40-500
+bytes); the load index rho is swept over the paper's values.  The script
+prints utilization, delay, control overhead and fairness side by side --
+a compact reproduction of Figs. 8-11.
+
+Run::
+
+    python examples/email_load_sweep.py
+"""
+
+from repro import CellConfig, run_cell
+from repro.experiments.runner import PAPER_LOADS
+
+
+def main() -> None:
+    print("load   util   delay(cyc)  overhead  p_coll  fairness  loss")
+    print("-----  -----  ----------  --------  ------  --------  -----")
+    for load in PAPER_LOADS:
+        config = CellConfig(num_data_users=9, num_gps_users=2,
+                            load_index=load, cycles=300,
+                            warmup_cycles=40, seed=3)
+        stats = run_cell(config)
+        print(f"{load:4.1f}   "
+              f"{stats.utilization():5.3f}  "
+              f"{stats.mean_message_delay_cycles():10.2f}  "
+              f"{stats.control_overhead():8.3f}  "
+              f"{stats.collision_probability():6.3f}  "
+              f"{stats.fairness():8.4f}  "
+              f"{stats.message_loss_rate():5.3f}")
+    print()
+    print("Compare with the paper: utilization tracks rho then saturates "
+          "near 8/9; delay blows up past the knee; control overhead and "
+          "contention collisions fall as piggybacking takes over; "
+          "round-robin keeps fairness near 1.")
+
+
+if __name__ == "__main__":
+    main()

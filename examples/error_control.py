@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Error control: the RS(64,48) codec over a bursty wireless channel.
+
+The paper's field observation (Section 2.2): with the RS(64,48) design,
+a packet is either delivered error-free or the decoder fails -- it is
+"extremely rare that a packet is delivered with an error".  This script
+demonstrates the dichotomy end to end:
+
+1. a real control-field block is bit-packed and RS-encoded,
+2. a Gilbert-Elliott channel corrupts it (quiet stretches with a few
+   symbol errors; occasional deep fades that wreck whole codewords),
+3. the real RS decoder either corrects the word exactly or refuses.
+
+Run::
+
+    python examples/error_control.py
+"""
+
+import random
+
+from repro.core.fields import AckEntry, ControlFields
+from repro.phy.errors import GilbertElliottModel
+from repro.phy.rs import RS_64_48, RSDecodeFailure
+
+
+def main() -> None:
+    rng = random.Random(2024)
+    channel = GilbertElliottModel(p_good=0.003, p_bad=0.45,
+                                  p_good_to_bad=2e-3, p_bad_to_good=1e-2)
+
+    cf = ControlFields(
+        cycle=17, which=1,
+        gps_schedule=[4, 9, 11],
+        reverse_schedule=[None, 3, 3, 3, 7, 7, 2, 2, 5],
+        reverse_acks=[AckEntry.data_ack(3),
+                      AckEntry.registration_reply(0x1234, 12)])
+    codewords = cf.to_codewords()
+    print(f"control-field block: {len(codewords)} RS(64,48) codewords, "
+          f"{sum(len(c) for c in codewords)} coded bytes")
+    print()
+
+    delivered = corrected = lost = 0
+    silently_corrupted = 0
+    trials = 2000
+    for _ in range(trials):
+        received = [channel.corrupt(cw, rng) for cw in codewords]
+        errors = sum(sum(1 for a, b in zip(rx, cw) if a != b)
+                     for rx, cw in zip(received, codewords))
+        try:
+            decoded = ControlFields.from_codewords(
+                [bytes(rx) for rx in received])
+        except RSDecodeFailure:
+            lost += 1
+            continue
+        # NB: decode() pads schedules to their wire-format lengths.
+        intact = (decoded.reverse_schedule == cf.reverse_schedule
+                  and decoded.gps_schedule[:3] == cf.gps_schedule
+                  and all(uid is None for uid in decoded.gps_schedule[3:])
+                  and decoded.reverse_acks[:2] == cf.reverse_acks)
+        if intact:
+            delivered += 1
+            if errors:
+                corrected += 1
+        else:
+            silently_corrupted += 1
+
+    print(f"trials                   : {trials}")
+    print(f"delivered intact         : {delivered} "
+          f"({delivered / trials:.1%})")
+    print(f"  of which RS-corrected  : {corrected}")
+    print(f"lost (decoder refused)   : {lost} ({lost / trials:.1%})")
+    print(f"silently corrupted       : {silently_corrupted}  <- the "
+          f"paper's point: this stays at (or extremely near) zero")
+    print()
+    print("Every block is either recovered exactly (up to 8 symbol "
+          "errors per codeword corrected) or dropped; the MAC treats a "
+          "drop as packet loss and its ACK machinery recovers.")
+
+
+if __name__ == "__main__":
+    main()

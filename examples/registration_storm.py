@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Registration: a cold-start storm vs the intended sparse arrivals.
+
+Section 2.1 sets the design goal: 80% of registrations within two
+notification cycles, 99% within ten.  This script contrasts
+
+* the intended regime -- subscribers arriving one by one (Poisson) --
+  where nearly every registration succeeds on the first try, with
+* a worst-case cold start -- 22 subscribers all powering on in cycle 0 --
+  where the persistence rule plus the base station's adaptive
+  contention-slot count dig the cell out of the pile-up.
+
+Run::
+
+    python examples/registration_storm.py
+"""
+
+from repro import CellConfig, run_cell
+
+
+def report(title: str, config: CellConfig) -> None:
+    stats = run_cell(config)
+    latencies = stats.registration_latency_cycles
+    print(title)
+    print(f"  registered           : {stats.registrations_completed}")
+    print(f"  attempts transmitted : {stats.registration_attempts}")
+    print(f"  mean latency         : {latencies.mean:.2f} cycles")
+    print(f"  max latency          : {latencies.max:.0f} cycles")
+    print(f"  P[latency <= 2]      : {stats.registration_cdf(2):.2f} "
+          f"(goal: >= 0.80)")
+    print(f"  P[latency <= 10]     : {stats.registration_cdf(10):.2f} "
+          f"(goal: >= 0.99)")
+    print()
+
+
+def main() -> None:
+    base = dict(num_data_users=14, num_gps_users=8, load_index=0.5,
+                cycles=150, warmup_cycles=30, seed=4)
+    report("Sparse arrivals (Poisson, one subscriber every ~20 s):",
+           CellConfig(registration_mode="poisson",
+                      registration_rate=0.05, **base))
+    report("Cold-start storm (all 22 subscribers in cycle 0):",
+           CellConfig(registration_mode="simultaneous", **base))
+    print("The storm violates the 2-cycle goal by design -- it is the "
+          "worst case the adaptive contention-slot mechanism exists "
+          "for; the sparse regime (the design target) meets both goals.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""OSU-MAC reproduction.
+
+A from-scratch Python implementation of *OSU-MAC: A New, Real-Time Medium
+Access Control Protocol for Wireless WANs with Asymmetric Wireless Links*
+(Liu, Ge, Fitz, Hou, Chen, Jain -- ICDCS 2001), together with every
+substrate it depends on: a discrete-event simulation kernel, a real
+RS(64,48) Reed--Solomon codec over GF(256), channel/error models, the
+testbed's physical-layer timing, workload generators, metrics, the MAC
+protocols the paper surveys (PRMA, D-TDMA, RAMA, DRMA, slotted ALOHA),
+and a benchmark harness regenerating every figure and table of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import CellConfig, run_cell
+
+    stats = run_cell(CellConfig(num_data_users=9, num_gps_users=3,
+                                load_index=0.5, cycles=120))
+    print(stats.summary())
+"""
+
+from repro.core import (
+    BaseStation,
+    CellConfig,
+    CellRun,
+    ControlFields,
+    DataSubscriber,
+    GpsSubscriber,
+    build_cell,
+    run_cell,
+    run_cell_detailed,
+)
+from repro.metrics import CellStats, jain_fairness_index
+from repro.phy import timing
+from repro.phy.rs import RS_64_48, ReedSolomon, RSDecodeFailure
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaseStation",
+    "CellConfig",
+    "CellRun",
+    "CellStats",
+    "ControlFields",
+    "DataSubscriber",
+    "GpsSubscriber",
+    "RS_64_48",
+    "RSDecodeFailure",
+    "ReedSolomon",
+    "Simulator",
+    "build_cell",
+    "jain_fairness_index",
+    "run_cell",
+    "run_cell_detailed",
+    "timing",
+    "__version__",
+]

@@ -1,0 +1,170 @@
+"""Closed-form reference models for cross-validating the simulator.
+
+Simulations are only trustworthy when they agree with theory where
+theory exists.  This module collects the analytical results the OSU-MAC
+design space admits:
+
+* raw channel budgets and protocol efficiency (from Table 1),
+* the reverse-channel capacity under each cycle format,
+* a pipeline + M/D/1 approximation of the e-mail message delay,
+* slotted-ALOHA throughput (for the contention baselines),
+* the GPS QoS bound (worst-case access delay).
+
+The test suite asserts that the discrete-event simulation reproduces
+these numbers (see ``tests/test_analysis.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.packets import PAYLOAD_BYTES
+from repro.phy import timing
+
+# -- channel budgets ------------------------------------------------------------
+
+
+def forward_raw_bitrate() -> float:
+    """Coded bits per second on the forward channel: 6.4 kbps."""
+    return timing.FORWARD_SYMBOL_RATE * timing.CODED_BITS_PER_SYMBOL
+
+
+def reverse_raw_bitrate() -> float:
+    """Coded bits per second on the reverse channel: 4.8 kbps."""
+    return timing.REVERSE_SYMBOL_RATE * timing.CODED_BITS_PER_SYMBOL
+
+
+def reverse_protocol_efficiency(num_gps_users: int = 3,
+                                contention_slots: int = 1) -> float:
+    """Fraction of the raw reverse bitrate delivered as user payload.
+
+    Accounts for every layer of overhead: pilot symbols, RS parity,
+    preambles/postambles/guard times, GPS slots, contention slots, the
+    packet header, and the cycle tail guard.
+    """
+    layout = timing.reverse_layout(num_gps_users)
+    usable_slots = layout.data_slots - contention_slots
+    payload_bits_per_cycle = usable_slots * PAYLOAD_BYTES * 8
+    raw_bits_per_cycle = reverse_raw_bitrate() * timing.CYCLE_LENGTH
+    return payload_bits_per_cycle / raw_bits_per_cycle
+
+
+@dataclass(frozen=True)
+class ReverseCapacity:
+    """Deliverable reverse-channel capacity under one configuration."""
+
+    data_slots: int
+    contention_slots: int
+    schedulable_slots: int
+    payload_bytes_per_cycle: int
+    payload_bytes_per_second: float
+    #: Saturation value of the utilization metric (which is normalized
+    #: by *all* data slots, including contention slots).
+    max_utilization: float
+
+
+def reverse_capacity(num_gps_users: int,
+                     contention_slots: int = 1,
+                     dynamic_adjustment: bool = True) -> ReverseCapacity:
+    """The reverse channel's data capacity (Fig. 8a's saturation level)."""
+    if dynamic_adjustment:
+        layout = timing.reverse_layout(num_gps_users)
+    else:
+        layout = timing.FORMAT1
+    schedulable = layout.data_slots - contention_slots
+    per_cycle = schedulable * PAYLOAD_BYTES
+    return ReverseCapacity(
+        data_slots=layout.data_slots,
+        contention_slots=contention_slots,
+        schedulable_slots=schedulable,
+        payload_bytes_per_cycle=per_cycle,
+        payload_bytes_per_second=per_cycle / timing.CYCLE_LENGTH,
+        max_utilization=schedulable / layout.data_slots)
+
+
+# -- delay model -----------------------------------------------------------------
+
+
+def md1_mean_wait(utilization: float, service_time: float) -> float:
+    """Mean queueing wait of an M/D/1 queue (Pollaczek-Khinchine)."""
+    if not 0 <= utilization < 1:
+        raise ValueError("utilization must be in [0, 1)")
+    return utilization * service_time / (2 * (1 - utilization))
+
+
+def expected_message_delay_cycles(load_index: float,
+                                  num_gps_users: int = 2,
+                                  contention_slots: int = 1,
+                                  mean_fragments: float = 6.66) -> float:
+    """Pipeline + M/D/1 approximation of the mean e-mail delay (cycles).
+
+    Components:
+
+    1. *Reservation pipeline*: a message arriving mid-cycle waits on
+       average half a cycle for the next control fields, one cycle for
+       its request to reach the base station and be scheduled, and half
+       a cycle on average until its granted slots come up: ~2 cycles.
+    2. *Queueing*: the reverse data slots behave like an M/D/1 server
+       with message-sized jobs; utilization is the offered load over the
+       schedulable-slot capacity.
+    3. *Transmission*: ceil-spread of the message's fragments over the
+       per-cycle slot share.
+
+    This is deliberately coarse (the true system is polling-based, not
+    M/D/1) -- good to ~a factor of 2 below saturation, which is exactly
+    the cross-check the tests apply.
+    """
+    capacity = reverse_capacity(num_gps_users, contention_slots)
+    layout = timing.reverse_layout(num_gps_users)
+    effective_load = load_index * (layout.data_slots
+                                   / capacity.schedulable_slots)
+    if effective_load >= 1:
+        return math.inf
+    service_cycles = mean_fragments / capacity.schedulable_slots
+    pipeline = 2.0
+    queueing = md1_mean_wait(effective_load, service_cycles)
+    return pipeline + queueing + service_cycles
+
+
+# -- contention baselines ----------------------------------------------------------
+
+
+def slotted_aloha_throughput(offered_load: float) -> float:
+    """S = G * e^-G, the classic slotted-ALOHA result."""
+    if offered_load < 0:
+        raise ValueError("offered load must be non-negative")
+    return offered_load * math.exp(-offered_load)
+
+
+def slotted_aloha_peak() -> float:
+    """Max slotted-ALOHA throughput: 1/e at G = 1."""
+    return 1.0 / math.e
+
+
+def contention_success_probability(contenders: int, slots: int) -> float:
+    """P[a given slot carries exactly one of n uniform contenders]."""
+    if contenders < 0 or slots <= 0:
+        raise ValueError("invalid population")
+    if contenders == 0:
+        return 0.0
+    p = 1.0 / slots
+    return contenders * p * (1 - p) ** (contenders - 1)
+
+
+# -- GPS QoS bound -------------------------------------------------------------------
+
+
+def gps_worst_case_access_delay() -> float:
+    """Upper bound on the GPS access delay with one slot per cycle.
+
+    A report arriving immediately after the unit's slot waits one full
+    cycle; R3 reassignments only move slots earlier, so the bound is the
+    cycle length itself -- strictly below the 4-second requirement.
+    """
+    return timing.CYCLE_LENGTH
+
+
+def gps_deadline_margin() -> float:
+    """Slack between the worst case and the 4 s requirement: ~15.6 ms."""
+    return timing.GPS_DEADLINE - gps_worst_case_access_delay()

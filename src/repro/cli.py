@@ -1,0 +1,175 @@
+"""Command-line interface for running OSU-MAC simulations.
+
+Usage::
+
+    python -m repro run --load 0.8 --data-users 9 --gps-users 3
+    python -m repro network --cells 3 --load 0.4 --handoffs 2
+    python -m repro experiments fig8a fig12b --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.cell import run_cell_detailed
+from repro.core.config import CellConfig
+from repro.phy import timing
+
+
+def _add_cell_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--load", type=float, default=0.5,
+                        help="load index rho (default 0.5)")
+    parser.add_argument("--data-users", type=int, default=9)
+    parser.add_argument("--gps-users", type=int, default=3)
+    parser.add_argument("--cycles", type=int, default=200)
+    parser.add_argument("--warmup", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--message-size", choices=("fixed", "uniform"),
+                        default="uniform")
+    parser.add_argument("--error-model",
+                        choices=("perfect", "outage", "iid", "ge"),
+                        default="perfect")
+    parser.add_argument("--outage-loss", type=float, default=0.01)
+    parser.add_argument("--symbol-error-rate", type=float, default=0.005)
+    parser.add_argument("--full-fidelity", action="store_true",
+                        help="run real RS codewords through the channel")
+    parser.add_argument("--forward-load", type=float, default=0.0)
+    parser.add_argument("--no-second-cf", action="store_true")
+    parser.add_argument("--no-dynamic-adjustment", action="store_true")
+    parser.add_argument("--json", action="store_true",
+                        help="print the summary as JSON")
+
+
+def _cell_config(args: argparse.Namespace) -> CellConfig:
+    return CellConfig(
+        num_data_users=args.data_users,
+        num_gps_users=args.gps_users,
+        load_index=args.load,
+        message_size=args.message_size,
+        cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        seed=args.seed,
+        error_model=args.error_model,
+        outage_loss=args.outage_loss,
+        symbol_error_rate=args.symbol_error_rate,
+        full_fidelity=args.full_fidelity,
+        forward_load_index=args.forward_load,
+        use_second_cf=not args.no_second_cf,
+        dynamic_slot_adjustment=not args.no_dynamic_adjustment)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _cell_config(args)
+    run = run_cell_detailed(config)
+    stats = run.stats
+    if args.json:
+        print(json.dumps(stats.summary(), indent=2))
+        return 0
+    print(f"simulated {config.cycles} cycles "
+          f"({config.duration:.0f} s) at rho={config.load_index}")
+    for key, value in stats.summary().items():
+        print(f"  {key:34s} {value:.4g}")
+    print(f"  registrations                      "
+          f"{stats.registrations_completed}")
+    return 0
+
+
+def _command_network(args: argparse.Namespace) -> int:
+    from repro.network import MultiCellConfig, build_network
+
+    cell = CellConfig(num_data_users=args.data_users,
+                      num_gps_users=args.gps_users,
+                      load_index=0.0,
+                      cycles=args.cycles,
+                      warmup_cycles=args.warmup,
+                      seed=args.seed)
+    config = MultiCellConfig(num_cells=args.cells, cell=cell,
+                             load_index=args.load,
+                             inter_cell_fraction=args.inter_cell,
+                             seed=args.seed)
+    network = build_network(config)
+    for index in range(args.handoffs):
+        source = index % args.cells
+        mover = network.cells[source].data_users[0]
+        target = (source + 1) % args.cells
+        when = (args.warmup + 20 + 25 * index) * timing.CYCLE_LENGTH
+        network.handoff(mover.ein, target, at_time=when)
+    stats = network.run()
+    payload = {
+        "messages_routed": stats.messages_routed,
+        "messages_forwarded": stats.messages_forwarded,
+        "end_to_end_delay_mean_s": stats.end_to_end_delay.mean,
+        "handoffs_completed": stats.handoffs_completed,
+        "backbone_bytes": network.backbone.total_bytes,
+        "cells": [cell_run.stats.summary()
+                  for cell_run in network.cells],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{args.cells} cells, {stats.messages_routed} messages routed "
+          f"({stats.messages_forwarded} over the backbone), "
+          f"{stats.handoffs_completed} handoffs")
+    print(f"end-to-end delay: {stats.end_to_end_delay.mean:.1f} s mean")
+    for index, cell_run in enumerate(network.cells):
+        cell_stats = cell_run.stats
+        print(f"  cell {index}: util="
+              f"{cell_stats.utilization():.3f} "
+              f"violations={int(cell_stats.radio_violations)} "
+              f"gps_misses={cell_stats.gps_deadline_misses}")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    forwarded: List[str] = list(args.names)
+    if args.quick:
+        forwarded.append("--quick")
+    if args.list:
+        forwarded.append("--list")
+    return experiments_main(forwarded)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="OSU-MAC reproduction: simulate cells, networks, "
+                    "and regenerate the paper's evaluation.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="simulate one cell and print its metrics")
+    _add_cell_arguments(run_parser)
+    run_parser.set_defaults(handler=_command_run)
+
+    network_parser = subparsers.add_parser(
+        "network", help="simulate a multi-cell network with handoffs")
+    network_parser.add_argument("--cells", type=int, default=2)
+    network_parser.add_argument("--load", type=float, default=0.4)
+    network_parser.add_argument("--inter-cell", type=float, default=0.5)
+    network_parser.add_argument("--data-users", type=int, default=6)
+    network_parser.add_argument("--gps-users", type=int, default=2)
+    network_parser.add_argument("--cycles", type=int, default=150)
+    network_parser.add_argument("--warmup", type=int, default=20)
+    network_parser.add_argument("--handoffs", type=int, default=0)
+    network_parser.add_argument("--seed", type=int, default=1)
+    network_parser.add_argument("--json", action="store_true")
+    network_parser.set_defaults(handler=_command_network)
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures")
+    experiments_parser.add_argument("names", nargs="*")
+    experiments_parser.add_argument("--quick", action="store_true")
+    experiments_parser.add_argument("--list", action="store_true")
+    experiments_parser.set_defaults(handler=_command_experiments)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""OSU-MAC protocol core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.config.CellConfig` -- scenario configuration.
+* :func:`~repro.core.cell.run_cell` / :func:`~repro.core.cell.run_cell_detailed`
+  -- run a full cell simulation.
+* :class:`~repro.core.base_station.BaseStation`,
+  :class:`~repro.core.subscriber.DataSubscriber`,
+  :class:`~repro.core.gps_unit.GpsSubscriber` -- the protocol agents.
+* Packet and control-field formats in :mod:`repro.core.packets` and
+  :mod:`repro.core.fields`.
+"""
+
+from repro.core.base_station import BaseStation
+from repro.core.cell import CellRun, build_cell, run_cell, run_cell_detailed
+from repro.core.config import CellConfig
+from repro.core.fields import AckEntry, ControlFields
+from repro.core.gps_slots import GpsSlotManager
+from repro.core.gps_unit import GpsSubscriber
+from repro.core.packets import (
+    DataPacket,
+    ForwardPacket,
+    GPSPacket,
+    RegistrationPacket,
+    ReservationPacket,
+)
+from repro.core.registration import RegistrationModule
+from repro.core.scheduler import (
+    ContentionController,
+    ForwardScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.subscriber import DataSubscriber
+
+__all__ = [
+    "AckEntry",
+    "BaseStation",
+    "CellConfig",
+    "CellRun",
+    "ContentionController",
+    "ControlFields",
+    "DataPacket",
+    "DataSubscriber",
+    "ForwardPacket",
+    "ForwardScheduler",
+    "GPSPacket",
+    "GpsSlotManager",
+    "GpsSubscriber",
+    "RegistrationModule",
+    "RegistrationPacket",
+    "ReservationPacket",
+    "RoundRobinScheduler",
+    "build_cell",
+    "run_cell",
+    "run_cell_detailed",
+]

@@ -1,0 +1,90 @@
+"""Bit-level packing for MAC packets and control fields.
+
+The OSU-MAC control-field block is specified in bits (6-bit user IDs,
+16-bit EINs, ...), so packets are serialized through a simple big-endian
+bit writer/reader pair.  Fields are written most-significant-bit first.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates values into a big-endian bit string."""
+
+    def __init__(self):
+        self._bits: int = 0
+        self._length: int = 0
+
+    def write(self, value: int, nbits: int) -> "BitWriter":
+        """Append the ``nbits`` low-order bits of ``value``."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if value < 0 or value >> nbits:
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._bits = (self._bits << nbits) | value
+        self._length += nbits
+        return self
+
+    def write_bool(self, flag: bool) -> "BitWriter":
+        return self.write(1 if flag else 0, 1)
+
+    def write_bytes(self, data: bytes) -> "BitWriter":
+        for byte in data:
+            self.write(byte, 8)
+        return self
+
+    @property
+    def bit_length(self) -> int:
+        return self._length
+
+    def getvalue(self, pad_to_bytes: int = 0) -> bytes:
+        """The accumulated bits, zero-padded to a whole number of bytes.
+
+        ``pad_to_bytes`` additionally right-pads the result with zero bytes
+        up to the requested length (e.g. to fill an RS information block).
+        """
+        total_bits = self._length
+        pad_bits = (-total_bits) % 8
+        value = self._bits << pad_bits
+        nbytes = (total_bits + pad_bits) // 8
+        data = value.to_bytes(nbytes, "big") if nbytes else b""
+        if pad_to_bytes > len(data):
+            data += bytes(pad_to_bytes - len(data))
+        elif pad_to_bytes and pad_to_bytes < len(data):
+            raise ValueError(
+                f"content ({len(data)} bytes) exceeds pad_to_bytes "
+                f"({pad_to_bytes})")
+        return data
+
+
+class BitReader:
+    """Reads big-endian bit fields from a byte string."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._position = 0  # in bits
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._position
+
+    def read(self, nbits: int) -> int:
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if nbits > self.bits_remaining:
+            raise ValueError("read past end of bit stream")
+        value = 0
+        position = self._position
+        for _ in range(nbits):
+            byte = self._data[position // 8]
+            bit = (byte >> (7 - position % 8)) & 1
+            value = (value << 1) | bit
+            position += 1
+        self._position = position
+        return value
+
+    def read_bool(self) -> bool:
+        return bool(self.read(1))
+
+    def read_bytes(self, nbytes: int) -> bytes:
+        return bytes(self.read(8) for _ in range(nbytes))

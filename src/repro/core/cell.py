@@ -1,0 +1,217 @@
+"""Cell orchestration: wire everything together and run a scenario.
+
+``run_cell(config)`` builds one cell -- base station, channels, data
+subscribers, GPS units, workload generators -- runs it for
+``config.cycles`` notification cycles, and returns the populated
+:class:`~repro.metrics.CellStats` (plus the live objects, for tests that
+want to poke at internals, via ``run_cell_detailed``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.base_station import BaseStation
+from repro.core.config import CellConfig
+from repro.core.packets import PAYLOAD_BYTES, ForwardPacket
+from repro.core.gps_unit import GpsSubscriber
+from repro.core.subscriber import ACTIVE, DataSubscriber
+from repro.metrics import CellStats
+from repro.phy import timing
+from repro.phy.channel import ForwardChannel, Link, ReverseChannel
+from repro.phy.errors import (
+    ErrorModel,
+    GilbertElliottModel,
+    IndependentSymbolErrors,
+    OutageModel,
+    PerfectChannelModel,
+)
+from repro.sim import RandomStreams, Simulator
+from repro.traffic.messages import (
+    Message,
+    PoissonMessageSource,
+    interarrival_for_load,
+    make_size_distribution,
+)
+
+#: EIN blocks for generated subscribers (arbitrary, disjoint).
+DATA_EIN_BASE = 0x1000
+GPS_EIN_BASE = 0x2000
+
+
+def _make_error_model(config: CellConfig,
+                      rng: random.Random) -> ErrorModel:
+    if config.error_model == "perfect":
+        return PerfectChannelModel()
+    if config.error_model == "outage":
+        return OutageModel(config.outage_loss)
+    if config.error_model == "iid":
+        return IndependentSymbolErrors(config.symbol_error_rate)
+    if config.error_model == "ge":
+        return GilbertElliottModel()
+    raise ValueError(f"unknown error model {config.error_model!r}")
+
+
+@dataclass
+class CellRun:
+    """Everything a finished simulation exposes."""
+
+    config: CellConfig
+    stats: CellStats
+    sim: Simulator
+    base_station: BaseStation
+    data_users: List[DataSubscriber]
+    gps_units: List[GpsSubscriber]
+
+
+def build_cell(config: CellConfig,
+               sim: "Simulator | None" = None,
+               streams: "RandomStreams | None" = None,
+               ein_offset: int = 0,
+               name_prefix: str = "") -> CellRun:
+    """Construct (but do not run) a cell simulation.
+
+    ``sim``/``streams`` may be shared across cells (multi-cell networks
+    build several cells on one simulator); ``ein_offset`` keeps EINs
+    globally unique in that case.
+    """
+    sim = sim if sim is not None else Simulator()
+    streams = streams if streams is not None \
+        else RandomStreams(config.seed)
+    stats = CellStats(
+        cycle_length=timing.CYCLE_LENGTH,
+        warmup_until=config.warmup_until,
+        data_slots_per_cycle=config.data_slots_per_cycle,
+        payload_bytes_per_slot=PAYLOAD_BYTES)
+    forward = ForwardChannel(sim, timing.FORWARD_SYMBOL_RATE)
+    reverse = ReverseChannel(sim, timing.REVERSE_SYMBOL_RATE)
+    base_station = BaseStation(sim, config, forward, reverse, stats,
+                               streams["base-station"])
+
+    entry_rng = streams["entry"]
+    entry_clock = [0.0]
+
+    def entry_time() -> float:
+        """Next subscriber power-on time.
+
+        'poisson' mode models a true Poisson arrival process: each entry
+        is the previous entry plus an exponential gap, so subscribers
+        trickle in at ``registration_rate`` per second (the sparse regime
+        the Section 2.1 registration goals are stated for).
+        """
+        if config.registration_mode == "poisson":
+            entry_clock[0] += entry_rng.expovariate(
+                config.registration_rate)
+            return entry_clock[0]
+        return 0.0
+
+    def make_link(stream_name: str) -> Link:
+        return Link(_make_error_model(config, streams[stream_name]),
+                    streams[stream_name],
+                    full_fidelity=config.full_fidelity)
+
+    data_users: List[DataSubscriber] = []
+    for index in range(config.num_data_users):
+        ein = DATA_EIN_BASE + ein_offset + index
+        subscriber = DataSubscriber(
+            sim, config, ein, forward, reverse,
+            forward_link=make_link(f"fl-{ein}"),
+            reverse_link=make_link(f"rl-{ein}"),
+            stats=stats, rng=streams[f"sub-{ein}"],
+            entry_time=entry_time(),
+            name=f"{name_prefix}data-{index}")
+        data_users.append(subscriber)
+
+    gps_units: List[GpsSubscriber] = []
+    for index in range(config.num_gps_users):
+        ein = GPS_EIN_BASE + ein_offset + index
+        unit = GpsSubscriber(
+            sim, config, ein, forward, reverse,
+            forward_link=make_link(f"fl-{ein}"),
+            reverse_link=make_link(f"rl-{ein}"),
+            stats=stats, rng=streams[f"sub-{ein}"],
+            entry_time=entry_time(),
+            name=f"{name_prefix}gps-{index}")
+        gps_units.append(unit)
+
+    # -- uplink e-mail workload -------------------------------------------
+    if config.num_data_users and config.load_index > 0:
+        sizes = make_size_distribution(
+            config.message_size, config.fixed_message_bytes,
+            config.uniform_low, config.uniform_high)
+        interarrival = interarrival_for_load(
+            config.load_index, config.num_data_users,
+            sizes.mean_mac_bytes(PAYLOAD_BYTES),
+            timing.CYCLE_LENGTH, config.data_slots_per_cycle,
+            PAYLOAD_BYTES)
+        for index, subscriber in enumerate(data_users):
+            PoissonMessageSource(
+                sim, streams[f"traffic-{index}"], interarrival, sizes,
+                deliver=subscriber.submit_message,
+                start_at=subscriber.entry_time)
+
+    # -- downlink workload ---------------------------------------------------
+    if config.num_data_users and config.forward_load_index > 0:
+        sizes = make_size_distribution(
+            config.message_size, config.fixed_message_bytes,
+            config.uniform_low, config.uniform_high)
+        interarrival = interarrival_for_load(
+            config.forward_load_index, config.num_data_users,
+            sizes.mean_mac_bytes(PAYLOAD_BYTES), timing.CYCLE_LENGTH,
+            timing.NUM_FORWARD_DATA_SLOTS, PAYLOAD_BYTES)
+        for index, subscriber in enumerate(data_users):
+            def deliver(message: Message,
+                        sub: DataSubscriber = subscriber) -> None:
+                _submit_forward_message(base_station, sub, message)
+            PoissonMessageSource(
+                sim, streams[f"fwd-traffic-{index}"], interarrival,
+                sizes, deliver=deliver,
+                start_at=subscriber.entry_time)
+
+    return CellRun(config=config, stats=stats, sim=sim,
+                   base_station=base_station, data_users=data_users,
+                   gps_units=gps_units)
+
+
+def _submit_forward_message(base_station: BaseStation,
+                            subscriber: DataSubscriber,
+                            message: Message) -> None:
+    """Fragment a downlink message into the subscriber's forward queue."""
+    if subscriber.state != ACTIVE or subscriber.uid is None:
+        return  # downlink traffic for inactive subscribers is dropped
+    fragments = message.fragments(PAYLOAD_BYTES)
+    remaining = message.size_bytes
+    for index in range(fragments):
+        chunk = min(PAYLOAD_BYTES, remaining)
+        remaining -= chunk
+        base_station.submit_forward(subscriber.uid, ForwardPacket(
+            uid=subscriber.uid,
+            seq=subscriber._forward_seq,
+            payload_len=chunk,
+            message_id=message.message_id,
+            more=index < fragments - 1,
+            created_at=message.created_at))
+        subscriber._forward_seq += 1
+
+
+def run_cell_detailed(config: CellConfig) -> CellRun:
+    """Build and run a cell; returns the full run object."""
+    run = build_cell(config)
+    run.sim.run(until=config.duration)
+    _finalize(run)
+    return run
+
+
+def run_cell(config: CellConfig) -> CellStats:
+    """Build and run a cell; returns just the statistics."""
+    return run_cell_detailed(config).stats
+
+
+def _finalize(run: CellRun) -> None:
+    stats = run.stats
+    for subscriber in run.data_users:
+        stats.radio_violations += len(subscriber.radio.violations)
+    for unit in run.gps_units:
+        stats.radio_violations += len(unit.radio.violations)

@@ -1,0 +1,107 @@
+"""Configuration for a simulated OSU-MAC cell.
+
+Defaults reproduce the paper's evaluation scenario (Section 5): one base
+station, up to 8 GPS buses, 5--14 data subscribers exchanging short
+e-mails, Poisson arrivals with the interarrival time derived from the
+target load index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.phy import timing
+
+
+@dataclass
+class CellConfig:
+    """All knobs of one cell simulation."""
+
+    # -- population -----------------------------------------------------------
+    num_data_users: int = 9
+    num_gps_users: int = 4
+
+    # -- workload ----------------------------------------------------------
+    load_index: float = 0.5
+    message_size: str = "uniform"  # 'fixed' or 'uniform'
+    fixed_message_bytes: int = 120
+    uniform_low: int = 40
+    uniform_high: int = 500
+    forward_load_index: float = 0.0  # 0 disables downlink traffic
+    buffer_packets: int = 64  # per-subscriber uplink queue capacity
+
+    # -- protocol options --------------------------------------------------
+    dynamic_slot_adjustment: bool = True
+    use_second_cf: bool = True
+    data_in_contention: bool = True
+    min_contention_slots: int = 1
+    max_contention_slots: int = 3
+    max_registration_attempts: int = 100
+    #: Probability of transmitting a registration attempt in a cycle
+    #: while registering.  The paper's rule is pure persistence (1.0),
+    #: which deadlocks when the number of simultaneous registrants far
+    #: exceeds the contention slots; p-persistence resolves such storms
+    #: (at p ~ contention_slots / registrants).
+    registration_persistence: float = 1.0
+    reservation_backoff_cap: int = 8  # cycles
+    data_backoff_cap: int = 16  # cycles (longer: un-reserved data)
+
+    # -- GPS ---------------------------------------------------------------
+    gps_report_period: float = timing.CYCLE_LENGTH
+    gps_deadline: float = timing.GPS_DEADLINE
+
+    # -- channel -----------------------------------------------------------
+    error_model: str = "perfect"  # 'perfect' | 'outage' | 'iid' | 'ge'
+    outage_loss: float = 0.01
+    symbol_error_rate: float = 0.005
+    #: Full-fidelity mode: control fields and data packets are genuinely
+    #: bit-packed, RS(64,48)-encoded, corrupted symbol-by-symbol by the
+    #: error model, and run through the real decoder at each receiver.
+    #: The MAC then operates on the *decoded* bits (with cross-checks
+    #: against the logical objects).  Slower; used for error-control
+    #: validation rather than large sweeps.
+    full_fidelity: bool = False
+
+    # -- registration arrival pattern -----------------------------------------
+    registration_mode: str = "simultaneous"  # or 'poisson'
+    registration_rate: float = 0.25  # arrivals per second for 'poisson'
+
+    # -- run control ---------------------------------------------------------
+    cycles: int = 200
+    warmup_cycles: int = 30
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_data_users < 0:
+            raise ValueError("num_data_users must be non-negative")
+        if not 0 <= self.num_gps_users <= timing.MAX_GPS_USERS:
+            raise ValueError(
+                f"num_gps_users must be in [0, {timing.MAX_GPS_USERS}]")
+        if self.message_size not in ("fixed", "uniform"):
+            raise ValueError(f"unknown message_size {self.message_size!r}")
+        if self.cycles <= self.warmup_cycles:
+            raise ValueError("cycles must exceed warmup_cycles")
+        if self.min_contention_slots < 1:
+            raise ValueError("need at least one contention slot")
+
+    @property
+    def data_slots_per_cycle(self) -> int:
+        """d in the load formula: 9 when <=3 GPS users, else 8.
+
+        Without dynamic slot adjustment the cycle always uses format 1
+        (8 data slots) regardless of the GPS population.
+        """
+        if not self.dynamic_slot_adjustment:
+            return timing.FORMAT1_DATA_SLOTS
+        if self.num_gps_users <= timing.FORMAT2_GPS_SLOTS:
+            return timing.FORMAT2_DATA_SLOTS
+        return timing.FORMAT1_DATA_SLOTS
+
+    @property
+    def duration(self) -> float:
+        return self.cycles * timing.CYCLE_LENGTH
+
+    @property
+    def warmup_until(self) -> float:
+        return self.warmup_cycles * timing.CYCLE_LENGTH

@@ -1,0 +1,51 @@
+"""On-air frame wrappers shared by base station and subscribers.
+
+The channel layer transports :class:`~repro.phy.channel.Transmission`
+objects whose payload is one of these wrappers.  They carry the MAC
+packet plus the slot coordinates the receiver needs for bookkeeping
+(which notification cycle, which slot); on real hardware those
+coordinates are implicit in the timing, here they save the receiver from
+reverse-engineering them from timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+SLOT_GPS = "gps"
+SLOT_DATA = "data"
+
+KIND_GPS = "gps"
+KIND_DATA = "data"
+KIND_RESERVATION = "reservation"
+KIND_REGISTRATION = "registration"
+
+
+@dataclass
+class UplinkFrame:
+    """A reverse-channel transmission's payload."""
+
+    kind: str  # one of the KIND_* constants
+    cycle: int
+    slot_kind: str  # SLOT_GPS or SLOT_DATA
+    slot_index: int
+    packet: Any
+    uid: Optional[int] = None
+    contention: bool = False
+    #: When the sender first tried to get this request through (for
+    #: reservation/registration latency measurements).
+    first_attempt_time: float = 0.0
+    #: Number of the cycle in which the first attempt happened.
+    first_attempt_cycle: int = 0
+
+
+@dataclass
+class DownlinkFrame:
+    """A forward-channel transmission's payload."""
+
+    kind: str  # 'cf1', 'cf2', or 'data'
+    cycle: int
+    slot_index: int = -1
+    uid: Optional[int] = None  # destination for data frames
+    packet: Any = None

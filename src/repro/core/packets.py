@@ -1,0 +1,260 @@
+"""MAC packet formats.
+
+Uplink control information is in-band (Section 3.1): it rides either in
+the header of regular data packets or in dedicated control packets
+(registration / reservation) transmitted in contention slots.  Every
+regular packet occupies one RS(64,48) codeword: 384 information bits, of
+which this implementation spends 32 on the header (the paper does not
+specify a header layout; see DESIGN.md), leaving 352 payload bits
+(44 bytes).
+
+GPS packets are 72 information bits (Section 2.1) and are not acknowledged
+or retransmitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.bits import BitReader, BitWriter
+from repro.phy import timing
+
+# -- packet type tags (2 bits in the header) ----------------------------------
+
+TYPE_DATA = 0
+TYPE_RESERVATION = 1
+TYPE_REGISTRATION = 2
+
+#: 6-bit user-ID sentinel: "no subscriber" (unassigned slot / empty entry).
+UNASSIGNED = 63
+#: Largest assignable user ID (63 is reserved as the sentinel).
+MAX_ASSIGNABLE_UID = 62
+
+#: Subscriber service classes carried in registration requests.
+SERVICE_DATA = 0
+SERVICE_GPS = 1
+
+HEADER_BITS = 32
+#: Effective payload per regular data packet.
+PAYLOAD_BYTES = (timing.RS_INFO_BITS - HEADER_BITS) // 8  # 44
+PAYLOAD_BITS = PAYLOAD_BYTES * 8
+
+#: Piggyback reservation field width (header): requests up to 15 slots.
+PIGGYBACK_BITS = 4
+MAX_PIGGYBACK = (1 << PIGGYBACK_BITS) - 1
+
+SEQ_BITS = 12
+MAX_SEQ = (1 << SEQ_BITS) - 1
+
+
+def _check_uid(uid: int) -> None:
+    if not 0 <= uid <= MAX_ASSIGNABLE_UID:
+        raise ValueError(f"user id {uid} out of range [0, 62]")
+
+
+@dataclass
+class DataPacket:
+    """A regular uplink/downlink data packet (one RS codeword).
+
+    Header layout (32 bits):
+    uid:6  type:2  piggyback:4  seq:12  payload_len:6  more:1  pad:1
+    """
+
+    uid: int
+    seq: int
+    payload_len: int  # bytes actually used, <= PAYLOAD_BYTES
+    piggyback: int = 0  # additional slots requested (implicit reservation)
+    more: bool = False  # further fragments of the same message follow
+    message_id: int = -1  # simulation-level bookkeeping, not on the air
+    created_at: float = 0.0  # simulation-level bookkeeping
+    #: Destination EIN for inter-cell forwarding.  Simulation-level: the
+    #: paper gives no network-layer wire format, so addressing rides as
+    #: metadata (in a real deployment it would occupy the first payload
+    #: bytes of the message).
+    destination_ein: Optional[int] = None
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        _check_uid(self.uid)
+        if not 0 <= self.payload_len <= PAYLOAD_BYTES:
+            raise ValueError(f"payload_len {self.payload_len} out of range")
+        if not 0 <= self.piggyback <= MAX_PIGGYBACK:
+            raise ValueError(f"piggyback {self.piggyback} out of range")
+        if not 0 <= self.seq <= MAX_SEQ:
+            raise ValueError(f"seq {self.seq} out of range")
+
+    def encode(self) -> bytes:
+        """Serialize into the 48 information bytes of one RS codeword."""
+        writer = BitWriter()
+        writer.write(self.uid, 6)
+        writer.write(TYPE_DATA, 2)
+        writer.write(self.piggyback, PIGGYBACK_BITS)
+        writer.write(self.seq, SEQ_BITS)
+        writer.write(self.payload_len, 6)
+        writer.write_bool(self.more)
+        writer.write(0, 1)
+        body = self.payload[:self.payload_len]
+        writer.write_bytes(body + bytes(PAYLOAD_BYTES - len(body)))
+        return writer.getvalue(pad_to_bytes=timing.RS_INFO_BYTES)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DataPacket":
+        reader = BitReader(data)
+        uid = reader.read(6)
+        ptype = reader.read(2)
+        if ptype != TYPE_DATA:
+            raise ValueError(f"not a data packet (type={ptype})")
+        piggyback = reader.read(PIGGYBACK_BITS)
+        seq = reader.read(SEQ_BITS)
+        payload_len = reader.read(6)
+        more = reader.read_bool()
+        reader.read(1)
+        payload = reader.read_bytes(PAYLOAD_BYTES)[:payload_len]
+        return cls(uid=uid, seq=seq, payload_len=payload_len,
+                   piggyback=piggyback, more=more, payload=payload)
+
+
+@dataclass
+class ReservationPacket:
+    """Explicit reservation request sent in a contention slot (Section 3.1).
+
+    Layout: uid:6 type:2 requested:6 pad -> one RS codeword.
+    """
+
+    uid: int
+    requested: int  # data slots desired
+
+    def __post_init__(self) -> None:
+        _check_uid(self.uid)
+        if not 0 <= self.requested <= 63:
+            raise ValueError(f"requested {self.requested} out of range")
+
+    def encode(self) -> bytes:
+        writer = BitWriter()
+        writer.write(self.uid, 6)
+        writer.write(TYPE_RESERVATION, 2)
+        writer.write(self.requested, 6)
+        return writer.getvalue(pad_to_bytes=timing.RS_INFO_BYTES)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ReservationPacket":
+        reader = BitReader(data)
+        uid = reader.read(6)
+        ptype = reader.read(2)
+        if ptype != TYPE_RESERVATION:
+            raise ValueError(f"not a reservation packet (type={ptype})")
+        requested = reader.read(6)
+        return cls(uid=uid, requested=requested)
+
+
+@dataclass
+class RegistrationPacket:
+    """Registration request from a new subscriber (Section 3.2).
+
+    Sent in a contention slot; the subscriber has no user ID yet, so the
+    packet carries the permanent 16-bit EIN and the requested service
+    class.  Layout: uid=63:6 type:2 ein:16 service:2 pad.
+    """
+
+    ein: int
+    service: int = SERVICE_DATA
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ein < (1 << timing.EIN_BITS) - 1:
+            raise ValueError(f"EIN {self.ein} out of range (0xFFFF reserved)")
+        if self.service not in (SERVICE_DATA, SERVICE_GPS):
+            raise ValueError(f"unknown service class {self.service}")
+
+    def encode(self) -> bytes:
+        writer = BitWriter()
+        writer.write(UNASSIGNED, 6)
+        writer.write(TYPE_REGISTRATION, 2)
+        writer.write(self.ein, timing.EIN_BITS)
+        writer.write(self.service, 2)
+        return writer.getvalue(pad_to_bytes=timing.RS_INFO_BYTES)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RegistrationPacket":
+        reader = BitReader(data)
+        reader.read(6)  # sentinel uid
+        ptype = reader.read(2)
+        if ptype != TYPE_REGISTRATION:
+            raise ValueError(f"not a registration packet (type={ptype})")
+        ein = reader.read(timing.EIN_BITS)
+        service = reader.read(2)
+        return cls(ein=ein, service=service)
+
+
+@dataclass
+class GPSPacket:
+    """A 72-bit GPS location report (Section 2.1).
+
+    Layout: uid:6 seq:10 latitude:28 longitude:28 = 72 bits.  GPS packets
+    are never retransmitted; a corrupted report is simply dropped.
+    """
+
+    uid: int
+    seq: int
+    latitude: int = 0
+    longitude: int = 0
+    created_at: float = 0.0  # simulation-level bookkeeping
+
+    def __post_init__(self) -> None:
+        _check_uid(self.uid)
+        if not 0 <= self.seq < (1 << 10):
+            raise ValueError(f"seq {self.seq} out of range")
+        for name, value in (("latitude", self.latitude),
+                            ("longitude", self.longitude)):
+            if not 0 <= value < (1 << 28):
+                raise ValueError(f"{name} {value} out of range")
+
+    def encode(self) -> bytes:
+        writer = BitWriter()
+        writer.write(self.uid, 6)
+        writer.write(self.seq, 10)
+        writer.write(self.latitude, 28)
+        writer.write(self.longitude, 28)
+        return writer.getvalue()  # 9 bytes
+
+    @classmethod
+    def decode(cls, data: bytes) -> "GPSPacket":
+        reader = BitReader(data)
+        uid = reader.read(6)
+        seq = reader.read(10)
+        latitude = reader.read(28)
+        longitude = reader.read(28)
+        return cls(uid=uid, seq=seq, latitude=latitude, longitude=longitude)
+
+
+def decode_uplink(data: bytes):
+    """Decode an uplink contention/data codeword by its type tag."""
+    reader = BitReader(data)
+    reader.read(6)
+    ptype = reader.read(2)
+    if ptype == TYPE_DATA:
+        return DataPacket.decode(data)
+    if ptype == TYPE_RESERVATION:
+        return ReservationPacket.decode(data)
+    if ptype == TYPE_REGISTRATION:
+        return RegistrationPacket.decode(data)
+    raise ValueError(f"unknown uplink packet type {ptype}")
+
+
+@dataclass
+class ForwardPacket:
+    """A downlink data packet queued at the base station."""
+
+    uid: int
+    seq: int
+    payload_len: int = PAYLOAD_BYTES
+    message_id: int = -1
+    more: bool = False
+    created_at: float = 0.0
+    payload: bytes = b""
+
+    def to_data_packet(self) -> DataPacket:
+        return DataPacket(uid=self.uid, seq=self.seq % (MAX_SEQ + 1),
+                          payload_len=self.payload_len, more=self.more,
+                          message_id=self.message_id,
+                          created_at=self.created_at, payload=self.payload)

@@ -1,0 +1,98 @@
+"""Half-duplex radio model for mobile subscribers (Section 2.2).
+
+A mobile subscriber can transmit or receive, never both, and a 20 ms
+guard is required when switching between the two.  The base station has a
+separate transmitter and receiver and is exempt.
+
+Rather than *enforcing* the constraint (the scheduler is responsible for
+never producing a conflicting schedule), the radio *audits* it: every
+claimed transmit/receive interval is checked against the already claimed
+ones, and violations are recorded.  Integration tests assert that a full
+simulation finishes with zero violations -- which is exactly the property
+the paper's two-control-field design and scheduling constraints exist to
+guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.phy import timing
+
+TX = "tx"
+RX = "rx"
+
+
+@dataclass(frozen=True)
+class RadioClaim:
+    """One scheduled use of the radio."""
+
+    kind: str  # TX or RX
+    start: float
+    end: float
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class RadioViolation:
+    """A half-duplex conflict between two claims."""
+
+    first: RadioClaim
+    second: RadioClaim
+    reason: str
+
+
+class HalfDuplexRadio:
+    """Audits one subscriber's transmit/receive timeline."""
+
+    def __init__(self, owner: str = "",
+                 turnaround: float = timing.MS_TURNAROUND_TIME):
+        self.owner = owner
+        self.turnaround = turnaround
+        self._claims: List[RadioClaim] = []
+        self.violations: List[RadioViolation] = []
+
+    def claim(self, kind: str, start: float, end: float,
+              label: str = "") -> RadioClaim:
+        """Record a scheduled TX/RX interval and audit it."""
+        if kind not in (TX, RX):
+            raise ValueError(f"kind must be 'tx' or 'rx', got {kind!r}")
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        claim = RadioClaim(kind=kind, start=start, end=end, label=label)
+        for other in reversed(self._claims):
+            # Claims are appended in loosely increasing time order; stop
+            # scanning once we are past any possible conflict window.
+            if other.end + self.turnaround <= start:
+                break
+            self._audit_pair(other, claim)
+        self._claims.append(claim)
+        return claim
+
+    def _audit_pair(self, first: RadioClaim, second: RadioClaim) -> None:
+        overlap = (first.start < second.end and second.start < first.end)
+        if overlap:
+            if first.kind == second.kind == RX:
+                return  # hearing two broadcasts at once is fine
+            self.violations.append(RadioViolation(
+                first=first, second=second,
+                reason="transmit/receive overlap"))
+            return
+        if first.kind != second.kind:
+            gap = max(second.start - first.end, first.start - second.end)
+            if gap < self.turnaround - 1e-9:
+                self.violations.append(RadioViolation(
+                    first=first, second=second,
+                    reason=f"turnaround gap {gap * 1000:.1f} ms < "
+                           f"{self.turnaround * 1000:.0f} ms"))
+
+    def prune(self, before: float) -> None:
+        """Drop claims that ended before ``before`` (memory bound)."""
+        horizon = before - self.turnaround
+        self._claims = [claim for claim in self._claims
+                        if claim.end >= horizon]
+
+    @property
+    def claim_count(self) -> int:
+        return len(self._claims)

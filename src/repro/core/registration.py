@@ -1,0 +1,104 @@
+"""Base-station registration handling (Section 3.2).
+
+A mobile subscriber registers by transmitting its permanent 16-bit EIN in
+a contention slot.  The registration-handling module approves the request
+by assigning a 6-bit user ID (unique within the cell) and announcing the
+(EIN, user ID) pair in the reverse-ACK entry of the contention slot the
+request arrived in.
+
+Capacity limits come from Section 2.1: up to 8 active GPS users and up to
+64 active non-real-time users -- bounded here by the 6-bit user-ID space
+with ID 63 reserved as a sentinel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.packets import (
+    MAX_ASSIGNABLE_UID,
+    SERVICE_DATA,
+    SERVICE_GPS,
+)
+
+
+@dataclass
+class Registrant:
+    """Registry record for one active subscriber."""
+
+    ein: int
+    uid: int
+    service: int
+    registered_at: float
+
+
+class RegistrationModule:
+    """EIN -> user-ID assignment with service-class capacity checks."""
+
+    def __init__(self, max_gps_users: int = 8, max_data_users: int = 64):
+        self.max_gps_users = max_gps_users
+        self.max_data_users = max_data_users
+        self._by_ein: Dict[int, Registrant] = {}
+        self._by_uid: Dict[int, Registrant] = {}
+        self.rejected = 0
+
+    @property
+    def active_gps(self) -> int:
+        return sum(1 for reg in self._by_uid.values()
+                   if reg.service == SERVICE_GPS)
+
+    @property
+    def active_data(self) -> int:
+        return sum(1 for reg in self._by_uid.values()
+                   if reg.service == SERVICE_DATA)
+
+    def lookup_ein(self, ein: int) -> Optional[Registrant]:
+        return self._by_ein.get(ein)
+
+    def lookup_uid(self, uid: int) -> Optional[Registrant]:
+        return self._by_uid.get(uid)
+
+    def approve(self, ein: int, service: int,
+                now: float) -> Optional[Registrant]:
+        """Approve a registration request; None when out of capacity.
+
+        Duplicate requests (retransmissions of an already-approved EIN)
+        return the existing record, so a subscriber that missed its
+        approval announcement recovers on the next attempt.
+        """
+        existing = self._by_ein.get(ein)
+        if existing is not None:
+            return existing
+        if service == SERVICE_GPS:
+            if self.active_gps >= self.max_gps_users:
+                self.rejected += 1
+                return None
+        elif service == SERVICE_DATA:
+            if self.active_data >= self.max_data_users:
+                self.rejected += 1
+                return None
+        else:
+            raise ValueError(f"unknown service class {service}")
+        uid = self._next_uid()
+        if uid is None:
+            self.rejected += 1
+            return None
+        record = Registrant(ein=ein, uid=uid, service=service,
+                            registered_at=now)
+        self._by_ein[ein] = record
+        self._by_uid[uid] = record
+        return record
+
+    def release(self, uid: int) -> Optional[Registrant]:
+        """Sign a subscriber off; frees its user ID for reuse."""
+        record = self._by_uid.pop(uid, None)
+        if record is not None:
+            self._by_ein.pop(record.ein, None)
+        return record
+
+    def _next_uid(self) -> Optional[int]:
+        for uid in range(MAX_ASSIGNABLE_UID + 1):
+            if uid not in self._by_uid:
+                return uid
+        return None

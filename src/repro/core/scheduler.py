@@ -1,0 +1,214 @@
+"""Slot scheduling at the base station (Sections 3.1, 3.5).
+
+Three pieces:
+
+* :class:`RoundRobinScheduler` -- allocates reverse data slots to the
+  subscribers with outstanding reservation demand, one slot per subscriber
+  per round, starting from a pointer that persists across cycles (the
+  paper's round-robin fairness).  The resulting allocation is *lumped*:
+  each subscriber's slots are contiguous, so it switches between transmit
+  and receive at most once per cycle (Section 3.5).
+* :class:`ForwardScheduler` -- assigns forward data slots round-robin to
+  subscribers with queued downlink packets, subject to the half-duplex
+  constraints (i)--(iii): a subscriber must not be scheduled to receive
+  within 20 ms of any of its reverse transmissions, and the first forward
+  slot must not go to the subscriber that listens to the second
+  control-field set.
+* :class:`ContentionController` -- adapts the number of contention slots
+  to the observed collision rate (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.phy import timing
+
+
+class RoundRobinScheduler:
+    """Round-robin reverse-slot allocator with persistent rotation."""
+
+    def __init__(self):
+        self._ring: List[int] = []
+        self._next_index = 0
+
+    def _sync_ring(self, uids: Sequence[int]) -> None:
+        known = set(self._ring)
+        for uid in uids:
+            if uid not in known:
+                self._ring.append(uid)
+                known.add(uid)
+        wanted = set(uids)
+        if len(wanted) != len(self._ring):
+            # Preserve rotation position across removals.
+            pointer_uid = (self._ring[self._next_index % len(self._ring)]
+                           if self._ring else None)
+            self._ring = [uid for uid in self._ring if uid in wanted]
+            if pointer_uid in wanted and self._ring:
+                self._next_index = self._ring.index(pointer_uid)
+            else:
+                self._next_index = 0
+
+    def allocate(self, demands: Dict[int, int],
+                 num_slots: int) -> Dict[int, int]:
+        """Slots granted per subscriber (uid -> count), round-robin.
+
+        ``demands`` maps uid -> outstanding slot requests.  Subscribers
+        are served one slot at a time in ring order until either all
+        demand is met or ``num_slots`` are exhausted.
+        """
+        active = [uid for uid, demand in demands.items() if demand > 0]
+        self._sync_ring(sorted(active))
+        grants: Dict[int, int] = {}
+        if not self._ring or num_slots <= 0:
+            return grants
+        remaining = dict(demands)
+        slots_left = num_slots
+        index = self._next_index % len(self._ring)
+        start_index = index
+        idle_passes = 0
+        while slots_left > 0 and idle_passes <= len(self._ring):
+            uid = self._ring[index]
+            if remaining.get(uid, 0) > 0:
+                grants[uid] = grants.get(uid, 0) + 1
+                remaining[uid] -= 1
+                slots_left -= 1
+                idle_passes = 0
+            else:
+                idle_passes += 1
+            index = (index + 1) % len(self._ring)
+        self._next_index = index
+        return grants
+
+    def layout_slots(self, grants: Dict[int, int],
+                     data_slots: int,
+                     contention_slots: Sequence[int]) -> List[Optional[int]]:
+        """Lay grants out as a lumped per-slot assignment list.
+
+        Contention slots stay ``None``; each subscriber's granted slots are
+        placed contiguously (slot lumping, Section 3.5) in grant order.
+        """
+        assignment: List[Optional[int]] = [None] * data_slots
+        free = [index for index in range(data_slots)
+                if index not in set(contention_slots)]
+        cursor = 0
+        for uid, count in grants.items():
+            for _ in range(count):
+                if cursor >= len(free):
+                    raise ValueError("more grants than free slots")
+                assignment[free[cursor]] = uid
+                cursor += 1
+        return assignment
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed-open time interval [start, end)."""
+
+    start: float
+    end: float
+
+    def expanded(self, margin: float) -> "Interval":
+        return Interval(self.start - margin, self.end + margin)
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class ForwardScheduler:
+    """Forward-slot allocator under the half-duplex constraints."""
+
+    def __init__(self):
+        self._ring: List[int] = []
+        self._next_index = 0
+
+    def allocate(self,
+                 demands: Dict[int, int],
+                 reverse_tx: Dict[int, List[Interval]],
+                 cf2_listener: Optional[int],
+                 cycle_start: float) -> List[Optional[int]]:
+        """Assign the N forward data slots for one cycle.
+
+        Parameters
+        ----------
+        demands:
+            uid -> number of queued downlink packets.
+        reverse_tx:
+            uid -> this cycle's scheduled reverse transmit intervals
+            (absolute times); forward receptions must keep a 20 ms margin
+            from every one of them (constraints (i)--(iii)).
+        cf2_listener:
+            The subscriber that listens to the second control-field set
+            this cycle (it may not receive forward slot 0).
+        cycle_start:
+            Absolute start time of the forward cycle.
+        """
+        active = sorted(uid for uid, demand in demands.items() if demand > 0)
+        known = set(self._ring)
+        for uid in active:
+            if uid not in known:
+                self._ring.append(uid)
+                known.add(uid)
+        remaining = dict(demands)
+        assignment: List[Optional[int]] = [None] * timing.NUM_FORWARD_DATA_SLOTS
+        if not self._ring:
+            return assignment
+        margin = timing.MS_TURNAROUND_TIME
+        for slot_index in range(timing.NUM_FORWARD_DATA_SLOTS):
+            offset = timing.forward_slot_offset(slot_index)
+            slot = Interval(cycle_start + offset,
+                            cycle_start + offset + timing.FORWARD_SLOT_TIME)
+            chosen = None
+            for step in range(len(self._ring)):
+                uid = self._ring[(self._next_index + step) % len(self._ring)]
+                if remaining.get(uid, 0) <= 0:
+                    continue
+                if slot_index == 0 and uid == cf2_listener:
+                    continue
+                guarded = slot.expanded(margin)
+                if any(guarded.overlaps(tx)
+                       for tx in reverse_tx.get(uid, ())):
+                    continue
+                chosen = uid
+                self._next_index = ((self._next_index + step + 1)
+                                    % len(self._ring))
+                break
+            if chosen is not None:
+                assignment[slot_index] = chosen
+                remaining[chosen] -= 1
+        return assignment
+
+
+class ContentionController:
+    """Adaptive contention-slot count (Section 3.5).
+
+    * If collisions occur in at least ``grow_threshold`` contention slots
+      of a cycle, or in each of two consecutive cycles, grow (up to
+      ``max_slots``).
+    * If at least two contention slots went completely unused, shrink
+      (down to ``min_slots``).
+    """
+
+    def __init__(self, min_slots: int = 1, max_slots: int = 3,
+                 grow_threshold: int = 2):
+        if not 1 <= min_slots <= max_slots:
+            raise ValueError("need 1 <= min_slots <= max_slots")
+        self.min_slots = min_slots
+        self.max_slots = max_slots
+        self.grow_threshold = grow_threshold
+        self.current = min_slots
+        self._consecutive_collision_cycles = 0
+
+    def update(self, collided_slots: int, unused_slots: int) -> int:
+        """Feed one cycle's observation; returns the next cycle's count."""
+        if collided_slots > 0:
+            self._consecutive_collision_cycles += 1
+        else:
+            self._consecutive_collision_cycles = 0
+        if (collided_slots >= self.grow_threshold
+                or self._consecutive_collision_cycles >= 2):
+            self.current = min(self.current + 1, self.max_slots)
+        elif unused_slots >= 2:
+            self.current = max(self.current - 1, self.min_slots)
+        return self.current

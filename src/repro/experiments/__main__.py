@@ -1,0 +1,118 @@
+"""CLI: run experiment harnesses and print their reports.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig8a fig8b --quick
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablation,
+    baselines,
+    calibration,
+    fig8_delay,
+    fig8_utilization,
+    fig9_overhead,
+    fig10_collision,
+    fig11_fairness,
+    fig12_gains,
+    gps_qos,
+    qos_baselines,
+    registration,
+    robustness,
+    tables,
+)
+
+EXPERIMENTS = {
+    "table1": tables.run_table1,
+    "table2": tables.run_table2,
+    "fig8a": fig8_utilization.run,
+    "fig8b": fig8_delay.run,
+    "fig9": fig9_overhead.run,
+    "fig10": fig10_collision.run,
+    "fig11": fig11_fairness.run,
+    "fig12a": fig12_gains.run_second_cf,
+    "fig12b": fig12_gains.run_dynamic_adjustment,
+    "registration": registration.run,
+    "robustness": robustness.run,
+    "gps": gps_qos.run,
+    "baselines": baselines.run,
+    "qos-rqma": qos_baselines.run_rqma,
+    "qos-fama": qos_baselines.run_fama,
+    "qos-mcns": qos_baselines.run_mcns,
+    "ablation": ablation.run,
+    "calibration": calibration.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("names", nargs="*",
+                        help="experiment names (or 'all')")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller runs (benchmark-sized)")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render each result as an ASCII chart")
+    parser.add_argument("--save-csv", metavar="DIR",
+                        help="also write each result to DIR/<name>.csv")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.names:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    for name in names:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; use --list",
+                  file=sys.stderr)
+            return 2
+        started = time.time()
+        result = runner(quick=args.quick)
+        print(result.format())
+        if args.plot:
+            _maybe_plot(result)
+        if args.save_csv:
+            import os
+            os.makedirs(args.save_csv, exist_ok=True)
+            path = os.path.join(args.save_csv, f"{name}.csv")
+            result.save_csv(path)
+            print(f"[wrote {path}]")
+        print(f"[{name} finished in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+def _maybe_plot(result) -> None:
+    """Chart the result when its first column is numeric."""
+    from repro.experiments.plots import render_result
+
+    try:
+        x_column = result.headers[0]
+        float(result.rows[0][0])
+        numeric = [header for header in result.headers[1:]
+                   if isinstance(result.rows[0][
+                       result.headers.index(header)], (int, float))]
+        if not numeric:
+            return
+        print()
+        print(render_result(result, x_column, numeric))
+    except (TypeError, ValueError):
+        return  # non-numeric table (e.g. Table 1): nothing to chart
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Fig. 12: the two protocol-specific bandwidth recovery mechanisms.
+
+(a) Gain from the second control-field set: the fraction of uplink data
+    packets carried by the *last* reverse data slot (which overlaps the
+    next cycle's CF1 and is only usable because its owner listens to
+    CF2).  Paper: between 5% and 14%.
+
+(b) Gain from dynamic slot adjustment: average number of reverse data
+    slots used per cycle, for 1 and 4 active GPS users, with and without
+    the adjustment.  With <= 3 GPS users, 5 unused GPS slots merge into a
+    9th data slot; the paper reports up to ~15% more usable bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cell import run_cell
+from repro.core.config import CellConfig
+from repro.experiments.runner import (
+    EVAL_DEFAULTS,
+    ExperimentResult,
+    PAPER_LOADS,
+    average_summaries,
+    cycles_for,
+    sweep_loads,
+)
+
+
+def run_second_cf(quick: bool = False,
+                  seeds: Sequence[int] = (1, 2, 3),
+                  loads: Sequence[float] = PAPER_LOADS
+                  ) -> ExperimentResult:
+    points = sweep_loads(loads=loads, seeds=seeds, quick=quick)
+    rows = [[point["load"], point["second_cf_gain"]] for point in points]
+    return ExperimentResult(
+        experiment_id="F12a",
+        title="Bandwidth gain from the second control-field set "
+              "(Fig. 12a)",
+        headers=["load", "last_slot_share"],
+        rows=rows,
+        notes=("Share of delivered data packets carried by the last "
+               "reverse data slot.  Paper: 5%-14%; the structural "
+               "ceiling is 1/8 = 12.5% of a fully-loaded format-2 "
+               "cycle's assignable slots."))
+
+
+def run_dynamic_adjustment(quick: bool = False,
+                           seeds: Sequence[int] = (1, 2, 3),
+                           loads: Sequence[float] = PAPER_LOADS
+                           ) -> ExperimentResult:
+    cycles, warmup = cycles_for(quick)
+    rows = []
+    for load in loads:
+        row = [load]
+        for gps_users in (1, 4):
+            for dynamic in (True, False):
+                summaries = []
+                for seed in seeds:
+                    kwargs = dict(EVAL_DEFAULTS)
+                    kwargs.update(num_gps_users=gps_users,
+                                  dynamic_slot_adjustment=dynamic,
+                                  cycles=cycles, warmup_cycles=warmup)
+                    stats = run_cell(CellConfig(load_index=load,
+                                                seed=seed, **kwargs))
+                    summaries.append(stats.summary())
+                point = average_summaries(summaries)
+                row.append(point["mean_data_slots_used"])
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="F12b",
+        title="Data slots used per cycle with/without dynamic slot "
+              "adjustment (Fig. 12b)",
+        headers=["load", "gps1_dynamic", "gps1_static",
+                 "gps4_dynamic", "gps4_static"],
+        rows=rows,
+        notes=("With 1 GPS user, dynamic adjustment converts the 5 "
+               "unused GPS slots into a 9th data slot (format 2): up to "
+               "~12-15% more slots served at saturation.  With 4 GPS "
+               "users both variants run format 1, so the curves "
+               "coincide -- exactly the paper's observation that the "
+               "effect only appears when GPS slots go unused."))
+
+
+def run(quick: bool = False,
+        seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
+    """Default entry point: Fig. 12(a)."""
+    return run_second_cf(quick=quick, seeds=seeds)

@@ -1,0 +1,96 @@
+"""ASCII rendering of experiment series (terminal-only environments).
+
+The benchmark environment has no display, so the figure harnesses can
+render their series as simple ASCII scatter/line charts.  This is
+intentionally dependency-free; anyone with matplotlib can feed the same
+:class:`~repro.experiments.runner.ExperimentResult` rows into it instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def ascii_chart(xs: Sequence[float], ys: Sequence[float],
+                width: int = 60, height: int = 16,
+                x_label: str = "x", y_label: str = "y",
+                title: str = "",
+                marker: str = "*") -> str:
+    """Render one (x, y) series as an ASCII chart."""
+    return ascii_multi_chart(xs, [(y_label, list(ys), marker)],
+                             width=width, height=height,
+                             x_label=x_label, title=title)
+
+
+def ascii_multi_chart(xs: Sequence[float],
+                      series: List[Tuple[str, Sequence[float], str]],
+                      width: int = 60, height: int = 16,
+                      x_label: str = "x",
+                      title: str = "") -> str:
+    """Render several named series over a shared x axis.
+
+    ``series`` is a list of (label, values, marker-character).
+    """
+    if not xs or not series:
+        raise ValueError("nothing to plot")
+    for label, values, _marker in series:
+        if len(values) != len(xs):
+            raise ValueError(f"series {label!r} length mismatch")
+    all_ys = [value for _label, values, _marker in series
+              for value in values]
+    y_min = min(all_ys)
+    y_max = max(all_ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for _label, values, marker in series:
+        for x, y in zip(xs, values):
+            column = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    gutter = max(len(top_label), len(bottom_label))
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(gutter)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = (f"{x_min:.4g}".ljust(width - 8) + f"{x_max:.4g}")
+    lines.append(" " * gutter + "  " + x_axis)
+    lines.append(" " * gutter + "  " + x_label)
+    legend = "   ".join(f"{marker} = {label}"
+                        for label, _values, marker in series)
+    if len(series) > 1:
+        lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_result(result, x_column: str,
+                  y_columns: Optional[List[str]] = None,
+                  **kwargs) -> str:
+    """Chart columns of an ExperimentResult by header name."""
+    xs = [float(value) for value in result.series(x_column)]
+    if y_columns is None:
+        y_columns = [header for header in result.headers
+                     if header != x_column]
+    markers = "*o+x#@"
+    series = [(column,
+               [float(value) for value in result.series(column)],
+               markers[index % len(markers)])
+              for index, column in enumerate(y_columns)]
+    kwargs.setdefault("x_label", x_column)
+    kwargs.setdefault("title", result.title)
+    return ascii_multi_chart(xs, series, **kwargs)

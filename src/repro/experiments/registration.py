@@ -1,0 +1,52 @@
+"""Registration latency (Section 2.1 design goal).
+
+Design requirement: 80% of registration requests approved within two
+notification cycles, 99% within ten.  Evaluated in the intended operating
+regime -- subscribers arriving over time (Poisson) -- plus a worst-case
+simultaneous-storm scenario showing the adaptive contention-slot
+mechanism digging the cell out of a pile-up.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cell import run_cell
+from repro.core.config import CellConfig
+from repro.experiments.runner import ExperimentResult, cycles_for
+
+
+def run(quick: bool = False,
+        seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
+    cycles, _ = cycles_for(quick)
+    rows = []
+    for mode, rate in (("poisson", 0.05), ("poisson", 0.15),
+                       ("simultaneous", None)):
+        latencies = []
+        cdf2 = cdf10 = completed = 0.0
+        for seed in seeds:
+            config = CellConfig(
+                num_data_users=14, num_gps_users=8, load_index=0.5,
+                registration_mode=mode,
+                registration_rate=rate or 0.25,
+                cycles=max(cycles, 120), warmup_cycles=30, seed=seed)
+            stats = run_cell(config)
+            cdf2 += stats.registration_cdf(2)
+            cdf10 += stats.registration_cdf(10)
+            completed += stats.registrations_completed
+            latencies.append(stats.registration_latency_cycles.mean)
+        n = len(seeds)
+        label = mode if rate is None else f"{mode} ({rate}/s)"
+        rows.append([label, completed / n, sum(latencies) / n,
+                     cdf2 / n, cdf10 / n])
+    return ExperimentResult(
+        experiment_id="R1",
+        title="Registration latency vs the Section 2.1 design goals",
+        headers=["arrival pattern", "registered", "mean_cycles",
+                 "P[<=2 cycles]", "P[<=10 cycles]"],
+        rows=rows,
+        notes=("Goals: P[<=2] >= 0.80 and P[<=10] >= 0.99 for the "
+               "sparse-arrival regimes.  The simultaneous storm (22 "
+               "subscribers in cycle 0) is a stress case: persistence "
+               "plus adaptive contention slots still converge, at "
+               "higher latency."))

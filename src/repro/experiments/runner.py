@@ -1,0 +1,124 @@
+"""Shared experiment machinery: load sweeps and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.cell import run_cell
+from repro.core.config import CellConfig
+from repro.metrics import CellStats
+
+#: The load indices the paper sweeps (Section 5).
+PAPER_LOADS = (0.3, 0.5, 0.8, 0.9, 1.0, 1.1)
+
+#: Scenario defaults matching Section 5: up to 8 GPS buses, 5-14 data
+#: users, variable-length (uniform 40-500 byte) e-mails.
+EVAL_DEFAULTS = dict(num_data_users=9, num_gps_users=2,
+                     message_size="uniform")
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Plain-text rendering of the table."""
+        columns = [self.headers] + [
+            [_fmt(cell) for cell in row] for row in self.rows]
+        widths = [max(len(row[index]) for row in columns)
+                  for index in range(len(self.headers))]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(header.ljust(width) for header, width
+                               in zip(self.headers, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append("  ".join(
+                _fmt(cell).ljust(width)
+                for cell, width in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def series(self, column: str) -> List[Any]:
+        """One column of the table by header name."""
+        index = self.headers.index(column)
+        return [row[index] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """The table as CSV text (for offline plotting/analysis)."""
+        import csv
+        import io
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def save_csv(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(self.to_csv())
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def run_config(config: CellConfig) -> CellStats:
+    return run_cell(config)
+
+
+def cycles_for(quick: bool) -> "tuple[int, int]":
+    """(cycles, warmup) for quick (bench) vs full experiment runs."""
+    return (140, 25) if quick else (400, 40)
+
+
+def sweep_loads(loads: Sequence[float] = PAPER_LOADS,
+                seeds: Sequence[int] = (1, 2, 3),
+                quick: bool = False,
+                metric: Optional[Callable[[CellStats], float]] = None,
+                **config_overrides) -> List[Dict[str, Any]]:
+    """Run the Section-5 scenario across load indices.
+
+    Returns one dict per load with every headline metric averaged over
+    the seeds (plus ``load``); when ``metric`` is given its value is
+    added under the key ``"metric"``.
+    """
+    cycles, warmup = cycles_for(quick)
+    points: List[Dict[str, Any]] = []
+    for load in loads:
+        summaries = []
+        for seed in seeds:
+            kwargs = dict(EVAL_DEFAULTS)
+            kwargs.update(config_overrides)
+            kwargs.setdefault("cycles", cycles)
+            kwargs.setdefault("warmup_cycles", warmup)
+            stats = run_cell(CellConfig(load_index=load, seed=seed,
+                                        **kwargs))
+            summary = stats.summary()
+            if metric is not None:
+                summary["metric"] = metric(stats)
+            summaries.append(summary)
+        point = average_summaries(summaries)
+        point["load"] = load
+        points.append(point)
+    return points
+
+
+def average_summaries(summaries: List[Dict[str, float]]) -> Dict[str, float]:
+    """Field-wise mean of several summary dicts."""
+    if not summaries:
+        return {}
+    keys = summaries[0].keys()
+    return {key: sum(summary[key] for summary in summaries)
+            / len(summaries) for key in keys}

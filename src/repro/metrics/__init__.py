@@ -1,0 +1,6 @@
+"""Statistics collection for OSU-MAC simulations."""
+
+from repro.metrics.stats import CellStats, SummaryStats
+from repro.metrics.fairness import jain_fairness_index
+
+__all__ = ["CellStats", "SummaryStats", "jain_fairness_index"]

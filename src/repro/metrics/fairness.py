@@ -1,0 +1,30 @@
+"""Jain's fairness index (Fig. 11; reference [11] of the paper).
+
+For per-subscriber bandwidth shares ``u_1 .. u_m``::
+
+    F = (sum u_i)^2 / (m * sum u_i^2)
+
+F = 1 means perfectly equal shares; F = 1/m means one subscriber takes
+everything.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def jain_fairness_index(shares: Iterable[float]) -> float:
+    """Jain's fairness index of the given bandwidth shares.
+
+    Returns 1.0 for an empty population (vacuously fair).
+    """
+    values = [float(value) for value in shares]
+    if not values:
+        return 1.0
+    if any(value < 0 for value in values):
+        raise ValueError("shares must be non-negative")
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if total == 0 or squares == 0:  # all-zero (or denormal) shares
+        return 1.0
+    return (total * total) / (len(values) * squares)

@@ -1,0 +1,309 @@
+"""Multi-cell networks: inter-cell forwarding and subscriber handoff.
+
+Builds N OSU-MAC cells on one simulator, connects their base stations
+with the wired backbone, and adds the wide-area behaviours the paper's
+system model describes (Section 2.2):
+
+* **Inter-cell messages** -- a fraction of each subscriber's e-mails are
+  addressed to subscribers in other cells.  The source base station
+  reassembles the message from its uplink fragments, forwards it over
+  the backbone, and the destination base station fragments it into the
+  destination subscriber's forward queue.
+* **Location directory + buffering** -- if the destination is not (yet)
+  registered in its cell (e.g. mid-handoff), the message is buffered and
+  delivered when its registration completes (this is what the paging
+  field exists for; the destination base station also announces the
+  pending delivery by paging the subscriber's last known user ID).
+* **Handoff** -- a subscriber can be moved between cells mid-run: it
+  signs off, re-tunes, re-registers through the new cell's contention
+  slots, and its uplink queue travels with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base_station import BaseStation
+from repro.core.cell import CellRun, build_cell
+from repro.core.config import CellConfig
+from repro.core.packets import PAYLOAD_BYTES, DataPacket, ForwardPacket
+from repro.core.subscriber import DataSubscriber
+from repro.metrics.stats import SummaryStats
+from repro.network.backbone import Backbone
+from repro.phy import timing
+from repro.sim import RandomStreams, Simulator
+from repro.traffic.messages import (
+    Message,
+    PoissonMessageSource,
+    interarrival_for_load,
+    make_size_distribution,
+)
+
+
+@dataclass
+class MultiCellConfig:
+    """Configuration of a multi-cell network."""
+
+    num_cells: int = 2
+    cell: CellConfig = field(default_factory=lambda: CellConfig(
+        num_data_users=6, num_gps_users=2, load_index=0.0))
+    #: Target uplink load index per cell for the inter-cell workload.
+    load_index: float = 0.4
+    #: Fraction of messages addressed to a subscriber in another cell
+    #: (the rest terminate at the local base station, e.g. outbound
+    #: e-mail to the wired network).
+    inter_cell_fraction: float = 0.5
+    backbone_latency: float = 0.005
+    backbone_bandwidth: float = 1_250_000.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_cells < 1:
+            raise ValueError("need at least one cell")
+        if not 0.0 <= self.inter_cell_fraction <= 1.0:
+            raise ValueError("inter_cell_fraction must be in [0, 1]")
+        if self.cell.load_index != 0.0:
+            raise ValueError(
+                "set MultiCellConfig.load_index, not cell.load_index "
+                "(the network generates the addressed workload itself)")
+
+
+@dataclass
+class NetworkStats:
+    """Network-level statistics (per-cell stats live in each CellRun)."""
+
+    messages_routed: int = 0
+    messages_delivered_local: int = 0
+    messages_forwarded: int = 0
+    messages_buffered_for_registration: int = 0
+    end_to_end_delay: SummaryStats = field(default_factory=SummaryStats)
+    handoffs_requested: int = 0
+    handoffs_completed: int = 0
+
+
+@dataclass
+class _PartialMessage:
+    bytes_received: int = 0
+    created_at: float = 0.0
+    destination_ein: Optional[int] = None
+
+
+class MultiCellNetwork:
+    """N cells + backbone + directory + router."""
+
+    def __init__(self, config: MultiCellConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.backbone = Backbone(self.sim, config.backbone_latency,
+                                 config.backbone_bandwidth)
+        self.stats = NetworkStats()
+        self.cells: List[CellRun] = []
+        #: ein -> (cell index the subscriber currently lives in, object).
+        self.directory: Dict[int, Tuple[int, DataSubscriber]] = {}
+        #: (cell, src uid, message id) -> reassembly state.
+        self._partial: Dict[Tuple[int, int, int], _PartialMessage] = {}
+        #: Messages waiting for their destination to register: ein -> list.
+        self._waiting: Dict[int, List[Message]] = {}
+        self._forward_seq = 0
+
+        for index in range(config.num_cells):
+            run = build_cell(config.cell, sim=self.sim,
+                             streams=self.streams.spawn(f"cell-{index}"),
+                             ein_offset=index * 0x400,
+                             name_prefix=f"c{index}-")
+            self.cells.append(run)
+            bs = run.base_station
+            bs.on_data_packet = self._make_uplink_handler(index)
+            bs.on_registration = self._make_registration_handler(index)
+            for subscriber in run.data_users:
+                self.directory[subscriber.ein] = (index, subscriber)
+                subscriber.on_message_received = \
+                    self._on_message_received
+
+        self._start_workload()
+
+    # -- workload -------------------------------------------------------------
+
+    def _start_workload(self) -> None:
+        config = self.config
+        cell_cfg = config.cell
+        if config.load_index <= 0 or not cell_cfg.num_data_users:
+            return
+        sizes = make_size_distribution(
+            cell_cfg.message_size, cell_cfg.fixed_message_bytes,
+            cell_cfg.uniform_low, cell_cfg.uniform_high)
+        interarrival = interarrival_for_load(
+            config.load_index, cell_cfg.num_data_users,
+            sizes.mean_mac_bytes(PAYLOAD_BYTES), timing.CYCLE_LENGTH,
+            cell_cfg.data_slots_per_cycle, PAYLOAD_BYTES)
+        traffic_rng = self.streams["addressing"]
+        all_eins = sorted(self.directory)
+        for cell_index, run in enumerate(self.cells):
+            for subscriber in run.data_users:
+                def deliver(message: Message,
+                            sub: DataSubscriber = subscriber) -> None:
+                    if (traffic_rng.random()
+                            < self.config.inter_cell_fraction):
+                        candidates = [ein for ein in all_eins
+                                      if ein != sub.ein]
+                        if candidates:
+                            message.destination_ein = \
+                                traffic_rng.choice(candidates)
+                    sub.submit_message(message)
+
+                PoissonMessageSource(
+                    self.sim,
+                    self.streams[f"traffic-{subscriber.ein}"],
+                    interarrival, sizes, deliver=deliver,
+                    start_at=subscriber.entry_time)
+
+    # -- uplink -> routing -------------------------------------------------------
+
+    def _make_uplink_handler(self, cell_index: int):
+        def handler(frame, packet: DataPacket) -> None:
+            key = (cell_index, packet.uid, packet.message_id)
+            partial = self._partial.setdefault(key, _PartialMessage(
+                created_at=packet.created_at,
+                destination_ein=packet.destination_ein))
+            partial.bytes_received += packet.payload_len
+            if packet.destination_ein is not None:
+                partial.destination_ein = packet.destination_ein
+            if packet.more:
+                return
+            del self._partial[key]
+            self.stats.messages_routed += 1
+            if partial.destination_ein is None:
+                return  # terminates at the base station (wired egress)
+            message = Message(message_id=packet.message_id,
+                              size_bytes=partial.bytes_received,
+                              created_at=partial.created_at,
+                              destination_ein=partial.destination_ein)
+            self._route(cell_index, message)
+        return handler
+
+    def _route(self, source_cell: int, message: Message) -> None:
+        entry = self.directory.get(message.destination_ein)
+        if entry is None:
+            return  # unknown destination: dropped at the source BS
+        dest_cell, _subscriber = entry
+        if dest_cell == source_cell:
+            self.stats.messages_delivered_local += 1
+            self._deliver_down(dest_cell, message)
+        else:
+            self.stats.messages_forwarded += 1
+            self.backbone.send(
+                source_cell, dest_cell, message, message.size_bytes,
+                lambda msg: self._deliver_down(
+                    self.directory[msg.destination_ein][0], msg))
+
+    # -- downlink delivery ----------------------------------------------------------
+
+    def _deliver_down(self, cell_index: int, message: Message) -> None:
+        bs = self.cells[cell_index].base_station
+        record = bs.registration.lookup_ein(message.destination_ein)
+        if record is None:
+            # Mid-handoff or not yet registered: buffer until the
+            # registration completes, and page the subscriber.
+            self.stats.messages_buffered_for_registration += 1
+            self._waiting.setdefault(message.destination_ein,
+                                     []).append(message)
+            return
+        self._fragment_down(bs, record.uid, message)
+
+    def _fragment_down(self, bs: BaseStation, uid: int,
+                       message: Message) -> None:
+        fragments = message.fragments(PAYLOAD_BYTES)
+        remaining = message.size_bytes
+        for index in range(fragments):
+            chunk = min(PAYLOAD_BYTES, remaining)
+            remaining -= chunk
+            bs.submit_forward(uid, ForwardPacket(
+                uid=uid, seq=self._forward_seq % 4096,
+                payload_len=chunk, message_id=message.message_id,
+                more=index < fragments - 1,
+                created_at=message.created_at))
+            self._forward_seq += 1
+
+    def _make_registration_handler(self, cell_index: int):
+        def handler(record) -> None:
+            waiting = self._waiting.pop(record.ein, None)
+            if not waiting:
+                return
+            bs = self.cells[cell_index].base_station
+            for message in waiting:
+                self._fragment_down(bs, record.uid, message)
+        return handler
+
+    def _on_message_received(self, packet: DataPacket) -> None:
+        self.stats.end_to_end_delay.push(
+            self.sim.now - packet.created_at)
+
+    # -- handoff -------------------------------------------------------------------
+
+    def handoff(self, ein: int, to_cell: int,
+                at_time: Optional[float] = None) -> None:
+        """Move subscriber ``ein`` to ``to_cell`` (now or at a set time)."""
+        if not 0 <= to_cell < len(self.cells):
+            raise ValueError(f"no such cell {to_cell}")
+        if ein not in self.directory:
+            raise ValueError(f"unknown subscriber EIN {ein:#x}")
+        if at_time is not None and at_time > self.sim.now:
+            self.sim.call_at(at_time,
+                             lambda: self.handoff(ein, to_cell))
+            return
+        self.stats.handoffs_requested += 1
+        from_cell, subscriber = self.directory[ein]
+        if from_cell == to_cell:
+            return
+        old_bs = self.cells[from_cell].base_station
+        if subscriber.uid is not None:
+            old_bs.sign_off(subscriber.uid)
+        target = self.cells[to_cell]
+        stream = self.streams[f"handoff-{ein}-{to_cell}"]
+        from repro.core.cell import _make_error_model
+        from repro.phy.channel import Link
+        subscriber.relocate(
+            target.base_station.forward, target.base_station.reverse,
+            forward_link=Link(_make_error_model(self.config.cell,
+                                                stream), stream,
+                              full_fidelity=self.config.cell
+                              .full_fidelity),
+            reverse_link=Link(_make_error_model(self.config.cell,
+                                                stream), stream,
+                              full_fidelity=self.config.cell
+                              .full_fidelity))
+        self.directory[ein] = (to_cell, subscriber)
+        self.stats.handoffs_completed += 1
+
+    # -- execution --------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> NetworkStats:
+        duration = until if until is not None \
+            else self.config.cell.duration
+        self.sim.run(until=duration)
+        for run in self.cells:
+            for subscriber in run.data_users:
+                run.stats.radio_violations += len(
+                    subscriber.radio.violations)
+            for unit in run.gps_units:
+                run.stats.radio_violations += len(unit.radio.violations)
+        return self.stats
+
+
+@dataclass
+class NetworkRun:
+    config: MultiCellConfig
+    network: MultiCellNetwork
+    stats: NetworkStats
+
+
+def build_network(config: MultiCellConfig) -> MultiCellNetwork:
+    return MultiCellNetwork(config)
+
+
+def run_network(config: MultiCellConfig) -> NetworkRun:
+    network = MultiCellNetwork(config)
+    stats = network.run()
+    return NetworkRun(config=config, network=network, stats=stats)

@@ -1,0 +1,50 @@
+"""Physical-layer substrate for the OSU narrow-band wireless testbed.
+
+Implements, from scratch, everything below the MAC that the paper's
+protocol depends on:
+
+* :mod:`repro.phy.gf256` -- GF(2^8) arithmetic (polynomial 0x11D).
+* :mod:`repro.phy.rs` -- the RS(64,48) Reed--Solomon codec used to protect
+  every data slot and control-field block.
+* :mod:`repro.phy.errors` -- channel error models, including the
+  Gilbert--Elliott burst model and the calibrated two-state outage model
+  that reproduces the paper's "delivered error-free or lost" dichotomy.
+* :mod:`repro.phy.timing` -- all Table-1/Table-2 physical-layer constants
+  and the derived notification-cycle geometry.
+* :mod:`repro.phy.channel` -- the forward broadcast channel and the
+  reverse channel with overlap-collision semantics.
+"""
+
+from repro.phy.gf256 import GF256
+from repro.phy.rs import ReedSolomon, RSDecodeFailure, RS_64_48
+from repro.phy.errors import (
+    ErrorModel,
+    GilbertElliottModel,
+    IndependentSymbolErrors,
+    OutageModel,
+    PerfectChannelModel,
+)
+from repro.phy import timing
+from repro.phy.channel import (
+    CollisionError,
+    ForwardChannel,
+    ReverseChannel,
+    Transmission,
+)
+
+__all__ = [
+    "GF256",
+    "ReedSolomon",
+    "RSDecodeFailure",
+    "RS_64_48",
+    "ErrorModel",
+    "GilbertElliottModel",
+    "IndependentSymbolErrors",
+    "OutageModel",
+    "PerfectChannelModel",
+    "timing",
+    "CollisionError",
+    "ForwardChannel",
+    "ReverseChannel",
+    "Transmission",
+]

@@ -1,0 +1,250 @@
+"""Reed--Solomon codec over GF(256).
+
+The paper protects every data packet and control-field block with a
+shortened RS(64,48) code over GF(256) (8 parity symbols, corrects up to
+t = 8 symbol errors).  This module implements:
+
+* systematic encoding against the generator polynomial
+  ``g(x) = prod_{i=0}^{2t-1} (x - alpha^i)``,
+* decoding via syndromes, Berlekamp--Massey, Chien search and the Forney
+  algorithm, with optional erasure information,
+* explicit decode-failure detection (:class:`RSDecodeFailure`) -- the
+  behaviour the paper relies on: a codeword is either recovered exactly or
+  the decoder refuses to output, so corrupted packets are *lost*, never
+  silently delivered wrong.
+
+Shortening is implicit: RS(64,48) is RS(255,239) with 191 leading zero
+information symbols that are never transmitted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.phy.gf256 import GF256
+
+
+class RSDecodeFailure(Exception):
+    """The received word is beyond the code's correction capability."""
+
+
+class ReedSolomon:
+    """A systematic RS(n, k) codec over GF(256).
+
+    Parameters
+    ----------
+    n:
+        Codeword length in symbols (bytes), at most 255.
+    k:
+        Information symbols per codeword; ``n - k`` must be even is not
+        required, but ``t = (n - k) // 2`` symbol errors are correctable.
+    fcr:
+        First consecutive root exponent of the generator polynomial
+        (0 by convention here).
+    """
+
+    def __init__(self, n: int, k: int, fcr: int = 0):
+        if not 0 < k < n <= 255:
+            raise ValueError(f"invalid RS parameters n={n}, k={k}")
+        self.n = n
+        self.k = k
+        self.fcr = fcr
+        self.nsym = n - k
+        self.t = self.nsym // 2
+        self.generator_poly = self._build_generator(self.nsym, fcr)
+
+    @staticmethod
+    def _build_generator(nsym: int, fcr: int) -> List[int]:
+        gen = [1]
+        for i in range(nsym):
+            gen = GF256.poly_mul(gen, [1, GF256.pow(2, i + fcr)])
+        return gen
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, message: Sequence[int]) -> bytes:
+        """Encode ``k`` information symbols into an ``n``-symbol codeword.
+
+        The output is systematic: the first ``k`` symbols are the message,
+        the last ``n - k`` are parity.
+        """
+        msg = list(message)
+        if len(msg) != self.k:
+            raise ValueError(
+                f"message must be exactly {self.k} symbols, got {len(msg)}")
+        if any(not 0 <= symbol <= 255 for symbol in msg):
+            raise ValueError("symbols must be in [0, 255]")
+        _, remainder = GF256.poly_divmod(msg + [0] * self.nsym,
+                                         self.generator_poly)
+        parity = [0] * (self.nsym - len(remainder)) + remainder
+        return bytes(msg + parity)
+
+    # -- decoding -------------------------------------------------------------
+
+    def decode(self, received: Sequence[int],
+               erasures: Optional[Sequence[int]] = None) -> bytes:
+        """Recover the ``k`` information symbols from a received word.
+
+        Parameters
+        ----------
+        received:
+            ``n`` symbols as read off the channel.
+        erasures:
+            Optional positions (0-based within the codeword) known to be
+            unreliable; each erasure costs one unit of correction power
+            instead of two.
+
+        Raises
+        ------
+        RSDecodeFailure
+            If more than ``t`` errors (counting erasures at half weight)
+            corrupted the word, or the corrected word is inconsistent.
+        """
+        word = list(received)
+        if len(word) != self.n:
+            raise RSDecodeFailure(
+                f"received word has {len(word)} symbols, expected {self.n}")
+        erasure_positions = sorted(set(erasures or []))
+        if any(not 0 <= pos < self.n for pos in erasure_positions):
+            raise ValueError("erasure positions out of range")
+        if len(erasure_positions) > self.nsym:
+            raise RSDecodeFailure("more erasures than parity symbols")
+
+        syndromes = self._syndromes(word)
+        if all(s == 0 for s in syndromes):
+            return bytes(word[:self.k])
+
+        erasure_locator = self._erasure_locator(erasure_positions)
+        modified = self._modified_syndromes(syndromes, erasure_positions)
+        error_locator = self._berlekamp_massey(
+            modified, len(erasure_positions))
+        combined = GF256.poly_mul(error_locator, erasure_locator)
+
+        positions = self._chien_search(combined)
+        if positions is None:
+            raise RSDecodeFailure("error locator has wrong root count")
+
+        corrected = self._forney(word, syndromes, combined, positions)
+
+        if any(s != 0 for s in self._syndromes(corrected)):
+            raise RSDecodeFailure("residual syndrome after correction")
+        return bytes(corrected[:self.k])
+
+    def check(self, received: Sequence[int]) -> bool:
+        """True when the word is a valid codeword (all syndromes zero)."""
+        word = list(received)
+        if len(word) != self.n:
+            return False
+        return all(s == 0 for s in self._syndromes(word))
+
+    # -- decoder internals ------------------------------------------------
+
+    def _syndromes(self, word: Sequence[int]) -> List[int]:
+        return [GF256.poly_eval(word, GF256.pow(2, i + self.fcr))
+                for i in range(self.nsym)]
+
+    def _erasure_locator(self, positions: Sequence[int]) -> List[int]:
+        locator = [1]
+        for pos in positions:
+            x_inv_power = GF256.pow(2, self.n - 1 - pos)
+            locator = GF256.poly_mul(locator, [x_inv_power, 1])
+        return locator
+
+    def _modified_syndromes(self, syndromes: Sequence[int],
+                            erasure_positions: Sequence[int]) -> List[int]:
+        """Forney syndromes: fold erasure knowledge into the syndromes.
+
+        Each erasure at position ``p`` folds a factor ``(x * X_p + 1)`` into
+        the syndrome polynomial via the standard in-place shift, so the
+        Berlekamp--Massey step only has to locate the *unknown* errors.
+        """
+        fsynd = list(syndromes)
+        for pos in erasure_positions:
+            x = GF256.pow(2, self.n - 1 - pos)
+            for j in range(len(fsynd) - 1):
+                fsynd[j] = GF256.mul(fsynd[j], x) ^ fsynd[j + 1]
+        return fsynd
+
+    def _berlekamp_massey(self, syndromes: Sequence[int],
+                          erasure_count: int) -> List[int]:
+        """Error-locator polynomial via Berlekamp--Massey (low-order last).
+
+        ``syndromes`` here are the Forney-modified syndromes, so the
+        locator found covers only the *errors* (not the erasures); only the
+        first ``nsym - erasure_count`` entries are meaningful.
+        """
+        err_loc = [1]
+        old_loc = [1]
+        for i in range(len(syndromes) - erasure_count):
+            old_loc = old_loc + [0]
+            delta = syndromes[i]
+            for j in range(1, len(err_loc)):
+                delta ^= GF256.mul(err_loc[-(j + 1)],
+                                   syndromes[i - j])
+            if delta != 0:
+                if len(old_loc) > len(err_loc):
+                    new_loc = GF256.poly_scale(old_loc, delta)
+                    old_loc = GF256.poly_scale(err_loc, GF256.inv(delta))
+                    err_loc = new_loc
+                err_loc = GF256.poly_add(
+                    err_loc, GF256.poly_scale(old_loc, delta))
+        err_loc = GF256.poly_strip(err_loc)
+        errors = len(err_loc) - 1
+        if errors * 2 + erasure_count > self.nsym:
+            raise RSDecodeFailure(
+                f"too many errors to correct ({errors} errors, "
+                f"{erasure_count} erasures, {self.nsym} parity symbols)")
+        return err_loc
+
+    def _chien_search(self, locator: Sequence[int]) -> Optional[List[int]]:
+        """Positions of errors, or None when root count != degree."""
+        degree = len(GF256.poly_strip(locator)) - 1
+        positions = []
+        for pos in range(self.n):
+            x_inv = GF256.pow(2, self.n - 1 - pos)
+            if GF256.poly_eval(locator, GF256.inv(x_inv)) == 0:
+                positions.append(pos)
+        if len(positions) != degree:
+            return None
+        return positions
+
+    def _forney(self, word: Sequence[int], syndromes: Sequence[int],
+                locator: Sequence[int],
+                positions: Sequence[int]) -> List[int]:
+        """Error magnitudes via the Forney algorithm; returns corrected word."""
+        # Error evaluator Omega(x) = Syn(x) * Lambda(x) mod x^nsym,
+        # with Syn(x) low-order first.
+        syn_poly = list(reversed(list(syndromes)))  # high-order first
+        product = GF256.poly_mul(syn_poly, locator)
+        omega = product[-self.nsym:]
+        corrected = list(word)
+        # Formal derivative of Lambda (high-order-first storage).
+        locator_list = GF256.poly_strip(locator)
+        degree = len(locator_list) - 1
+        for pos in positions:
+            x = GF256.pow(2, self.n - 1 - pos)  # locator value X_j
+            x_inv = GF256.inv(x)
+            # Lambda'(X_j^-1): in GF(2^m) the derivative keeps odd terms.
+            derivative = 0
+            for power in range(degree + 1):
+                coeff = locator_list[len(locator_list) - 1 - power]
+                if power % 2 == 1 and coeff:
+                    derivative ^= GF256.mul(
+                        coeff, GF256.pow(x_inv, power - 1))
+            if derivative == 0:
+                raise RSDecodeFailure("Forney derivative vanished")
+            numerator = GF256.poly_eval(omega, x_inv)
+            magnitude = GF256.div(numerator, derivative)
+            # e_j = X_j^(1-fcr) * Omega(X_j^-1) / Lambda'(X_j^-1).
+            magnitude = GF256.mul(magnitude, GF256.pow(x, 1 - self.fcr))
+            corrected[pos] ^= magnitude
+        return corrected
+
+
+#: The codec the testbed uses for every slot and control-field block.
+RS_64_48 = ReedSolomon(64, 48)
+
+
+def codeword_bits(codec: ReedSolomon = RS_64_48) -> Tuple[int, int]:
+    """(information bits, coded bits) per codeword: (384, 512) for RS(64,48)."""
+    return codec.k * 8, codec.n * 8

@@ -1,0 +1,239 @@
+"""Physical-layer timing of the OSU narrow-band wireless testbed.
+
+Every constant in this module comes from Table 1 / Sections 2.2, 3.3, 3.4
+of the paper; the derived quantities (slot lengths, cycle lengths, the
+reverse-cycle shift ``delta``, and the Table-2 access times) are computed
+from first principles so the unit tests can check them against the numbers
+printed in the paper.
+
+All durations are in seconds; all lengths in channel symbols unless a name
+says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+# -- general physical-layer characteristics (Table 1) ------------------------
+
+FORWARD_SYMBOL_RATE = 3200.0  # channel symbols / second
+REVERSE_SYMBOL_RATE = 2400.0
+CODED_BITS_PER_SYMBOL = 2  # QPSK: two coded bits per channel symbol
+
+PS_FRAME_SYMBOLS = 150  # channel symbols per pilot-symbol frame
+PS_FRAME_INFO_SYMBOLS = 128  # non-pilot symbols per PS frame
+PS_FRAME_PILOTS = PS_FRAME_SYMBOLS - PS_FRAME_INFO_SYMBOLS  # 22 pilots
+PS_FRAME_EFFICIENCY = PS_FRAME_INFO_SYMBOLS / PS_FRAME_SYMBOLS  # 128/150
+
+RS_INFO_BITS = 384  # information bits per RS(64,48) codeword
+RS_CODED_BITS = 512  # coded bits per RS(64,48) codeword
+RS_INFO_BYTES = RS_INFO_BITS // 8  # 48
+RS_CODED_BYTES = RS_CODED_BITS // 8  # 64
+
+#: Channel symbols occupied by one RS codeword once pilots are inserted:
+#: 512 coded bits -> 256 data symbols -> 2 PS frames -> 300 channel symbols.
+RS_CODEWORD_SYMBOLS = (RS_CODED_BITS // CODED_BITS_PER_SYMBOL
+                       // PS_FRAME_INFO_SYMBOLS) * PS_FRAME_SYMBOLS
+
+# -- regular (non-real-time) data packets ------------------------------------
+
+REGULAR_PACKET_CODEWORDS = 1
+REGULAR_PACKET_SYMBOLS = RS_CODEWORD_SYMBOLS  # 300
+REGULAR_PACKET_TIME_FORWARD = REGULAR_PACKET_SYMBOLS / FORWARD_SYMBOL_RATE
+REGULAR_PACKET_TIME_REVERSE = REGULAR_PACKET_SYMBOLS / REVERSE_SYMBOL_RATE
+
+# -- reverse-channel packet framing (Table 1, bottom block) -------------------
+
+REGULAR_PREAMBLE_SYMBOLS = 600
+REGULAR_POSTAMBLE_SYMBOLS = 51
+GUARD_SYMBOLS = 18
+GUARD_TIME = GUARD_SYMBOLS / REVERSE_SYMBOL_RATE  # 0.0075 s
+
+REGULAR_SLOT_SYMBOLS = (REGULAR_PREAMBLE_SYMBOLS + REGULAR_PACKET_SYMBOLS
+                        + REGULAR_POSTAMBLE_SYMBOLS + GUARD_SYMBOLS)  # 969
+#: Reverse data slot: 0.40375 s.
+DATA_SLOT_TIME = REGULAR_SLOT_SYMBOLS / REVERSE_SYMBOL_RATE
+
+GPS_PACKET_INFO_BITS = 72
+GPS_PACKET_SYMBOLS = 128
+GPS_PREAMBLE_SYMBOLS = 64
+GPS_SLOT_SYMBOLS = (GPS_PREAMBLE_SYMBOLS + GPS_PACKET_SYMBOLS
+                    + GUARD_SYMBOLS)  # 210
+#: Reverse GPS slot: 0.0875 s.
+GPS_SLOT_TIME = GPS_SLOT_SYMBOLS / REVERSE_SYMBOL_RATE
+
+# -- forward-channel cycle geometry (Section 3.4) -----------------------------
+
+FORWARD_PREAMBLE1_SYMBOLS = 300  # cycle preamble
+FORWARD_PREAMBLE2_SYMBOLS = 150  # preamble before the second control fields
+FORWARD_PREAMBLE_TOTAL_SYMBOLS = (FORWARD_PREAMBLE1_SYMBOLS
+                                  + FORWARD_PREAMBLE2_SYMBOLS)  # 450
+CYCLE_PREAMBLE_TIME = FORWARD_PREAMBLE_TOTAL_SYMBOLS / FORWARD_SYMBOL_RATE
+
+CONTROL_FIELD_CODEWORDS = 2  # each control-field set spans 2 RS codewords
+CONTROL_FIELD_SYMBOLS = CONTROL_FIELD_CODEWORDS * RS_CODEWORD_SYMBOLS  # 600
+CONTROL_FIELD_TIME = CONTROL_FIELD_SYMBOLS / FORWARD_SYMBOL_RATE
+CONTROL_FIELD_INFO_BITS = CONTROL_FIELD_CODEWORDS * RS_INFO_BITS  # 768
+CONTROL_FIELD_USED_BITS = 630  # Section 3.1; 138 bits reserved
+
+#: Forward data slot: one RS codeword = 300 symbols = 0.09375 s.
+FORWARD_SLOT_SYMBOLS = RS_CODEWORD_SYMBOLS
+FORWARD_SLOT_TIME = FORWARD_SLOT_SYMBOLS / FORWARD_SYMBOL_RATE
+
+TARGET_CYCLE_SYMBOLS_FORWARD = 12800  # 4 seconds at 3200 sym/s
+
+#: N = 37 forward data slots per cycle (Section 3.4).
+NUM_FORWARD_DATA_SLOTS = ((TARGET_CYCLE_SYMBOLS_FORWARD
+                           - FORWARD_PREAMBLE_TOTAL_SYMBOLS
+                           - 2 * CONTROL_FIELD_SYMBOLS)
+                          // FORWARD_SLOT_SYMBOLS)
+
+#: Exact forward notification-cycle length: 3.984375 s.
+CYCLE_LENGTH = (FORWARD_PREAMBLE_TOTAL_SYMBOLS
+                + 2 * CONTROL_FIELD_SYMBOLS
+                + NUM_FORWARD_DATA_SLOTS * FORWARD_SLOT_SYMBOLS
+                ) / FORWARD_SYMBOL_RATE
+
+# -- reverse-channel cycle geometry (Section 3.3) ------------------------------
+
+MAX_GPS_USERS = 8
+MAX_GPS_SLOTS = 8
+#: Format 1 (>3 active GPS users): 8 GPS slots + 8 data slots.
+FORMAT1_GPS_SLOTS = 8
+FORMAT1_DATA_SLOTS = 8
+#: Format 2 (<=3 active GPS users): 3 GPS slots + 9 data slots + small guard.
+FORMAT2_GPS_SLOTS = 3
+FORMAT2_DATA_SLOTS = 9
+FORMAT2_TAIL_GUARD = 0.03375  # paper: guard time closing format 2
+
+#: How many GPS slots merge into one extra data slot (Section 3.3).
+GPS_SLOTS_PER_DATA_SLOT = 5
+
+#: Reverse cycle content length (both formats): 3.93 s.
+REVERSE_CONTENT_LENGTH = (FORMAT1_GPS_SLOTS * GPS_SLOT_TIME
+                          + FORMAT1_DATA_SLOTS * DATA_SLOT_TIME)
+
+#: Guard appended so the reverse cycle matches the forward cycle: 0.054375 s
+#: (the paper rounds this to 0.0544).
+REVERSE_TAIL_GUARD = CYCLE_LENGTH - REVERSE_CONTENT_LENGTH
+
+# -- two-control-field shift (Section 3.4, Problem 2) --------------------------
+
+MS_TURNAROUND_TIME = 0.020  # 20 ms transmit/receive switch-over
+
+#: The reverse cycle starts ``REVERSE_SHIFT`` after the forward cycle:
+#: first preamble + first control fields + 20 ms = 0.30125 s.
+REVERSE_SHIFT = (FORWARD_PREAMBLE1_SYMBOLS / FORWARD_SYMBOL_RATE
+                 + CONTROL_FIELD_TIME
+                 + MS_TURNAROUND_TIME)
+
+# -- forward-cycle element offsets (relative to forward cycle start) ----------
+
+FORWARD_PREAMBLE1_TIME = FORWARD_PREAMBLE1_SYMBOLS / FORWARD_SYMBOL_RATE
+FORWARD_PREAMBLE2_TIME = FORWARD_PREAMBLE2_SYMBOLS / FORWARD_SYMBOL_RATE
+
+CF1_OFFSET = FORWARD_PREAMBLE1_TIME
+CF1_END = CF1_OFFSET + CONTROL_FIELD_TIME
+#: Forward data slot 0 sits between the two control-field sets.
+FORWARD_SLOT0_OFFSET = CF1_END
+CF2_OFFSET = FORWARD_SLOT0_OFFSET + FORWARD_SLOT_TIME + FORWARD_PREAMBLE2_TIME
+CF2_END = CF2_OFFSET + CONTROL_FIELD_TIME
+
+
+def forward_slot_offset(index: int) -> float:
+    """Start offset of forward data slot ``index`` in [0, N) within a cycle.
+
+    Slot 0 is the single slot between the control-field sets; slots 1..36
+    follow the second control-field set back to back.
+    """
+    if not 0 <= index < NUM_FORWARD_DATA_SLOTS:
+        raise ValueError(f"forward slot index {index} out of range")
+    if index == 0:
+        return FORWARD_SLOT0_OFFSET
+    return CF2_END + (index - 1) * FORWARD_SLOT_TIME
+
+
+# -- reverse-cycle slot layout --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReverseLayout:
+    """Slot layout of one reverse notification cycle.
+
+    Offsets are relative to the *forward* cycle start (as in the paper's
+    Table 2), i.e. they already include :data:`REVERSE_SHIFT`.
+    """
+
+    format_id: int
+    gps_slots: int
+    data_slots: int
+    gps_offsets: Tuple[float, ...]
+    data_offsets: Tuple[float, ...]
+
+    def gps_slot_interval(self) -> float:
+        """Duration of one GPS slot."""
+        return GPS_SLOT_TIME
+
+    def data_slot_interval(self) -> float:
+        return DATA_SLOT_TIME
+
+
+def _build_layout(format_id: int, gps_slots: int,
+                  data_slots: int) -> ReverseLayout:
+    gps_offsets: List[float] = []
+    cursor = REVERSE_SHIFT
+    for _ in range(gps_slots):
+        gps_offsets.append(cursor)
+        cursor += GPS_SLOT_TIME
+    data_offsets: List[float] = []
+    for _ in range(data_slots):
+        data_offsets.append(cursor)
+        cursor += DATA_SLOT_TIME
+    return ReverseLayout(format_id=format_id,
+                         gps_slots=gps_slots,
+                         data_slots=data_slots,
+                         gps_offsets=tuple(gps_offsets),
+                         data_offsets=tuple(data_offsets))
+
+
+#: Format 1 layout (Table 2, left column).
+FORMAT1 = _build_layout(1, FORMAT1_GPS_SLOTS, FORMAT1_DATA_SLOTS)
+#: Format 2 layout (Table 2, right column).
+FORMAT2 = _build_layout(2, FORMAT2_GPS_SLOTS, FORMAT2_DATA_SLOTS)
+
+
+def reverse_layout(active_gps_users: int) -> ReverseLayout:
+    """The layout the base station announces (Section 3.3).
+
+    Format 1 when more than three GPS users are active, format 2 otherwise.
+    The announcement is implicit: subscribers infer the format from the
+    number of GPS users in the control fields.
+    """
+    if active_gps_users < 0:
+        raise ValueError("active_gps_users must be non-negative")
+    return FORMAT1 if active_gps_users > FORMAT2_GPS_SLOTS else FORMAT2
+
+
+#: The paper's GPS temporal-QoS bound (Section 2.1): 4 s access delay.
+GPS_DEADLINE = 4.0
+#: Checking delay bound for a newly active GPS terminal: 1 minute.
+GPS_CHECKING_DELAY = 60.0
+
+#: Registration design goals (Section 2.1): P[latency <= 2 cycles] >= 0.8,
+#: P[latency <= 10 cycles] >= 0.99.
+REGISTRATION_GOALS = ((2, 0.80), (10, 0.99))
+
+#: 6-bit user IDs -> at most 64 assignable IDs per cell.
+USER_ID_BITS = 6
+MAX_USER_IDS = 2 ** USER_ID_BITS
+EIN_BITS = 16
+
+#: Control-field sub-field sizes in bits (Section 3.1, Fig. 2).
+GPS_SCHEDULE_ENTRIES = 8
+REVERSE_SCHEDULE_ENTRIES = 9  # M = 9
+FORWARD_SCHEDULE_ENTRIES = NUM_FORWARD_DATA_SLOTS  # N = 37
+PAGING_ENTRIES = 18
+#: Reverse ACK field: one entry per reverse data slot (max 9), each entry
+#: large enough to carry an (EIN, user ID) registration reply.
+REVERSE_ACK_ENTRIES = 9

@@ -1,0 +1,52 @@
+"""Baseline wireless MAC protocols surveyed in Section 4 of the paper.
+
+The paper compares OSU-MAC *qualitatively* against PRMA, D-TDMA, RAMA,
+DRMA, FAMA, RQMA and MCNS, and deliberately omits a simulation comparison
+("a comparison among them would not be fair" -- different design goals).
+This package implements slot-level simulation models of the reservation
+protocols anyway, so the repository can quantify the trade-offs the
+survey discusses (extension experiment X1 in DESIGN.md):
+
+* :mod:`repro.protocols.aloha` -- slotted ALOHA (the common ancestor and
+  the contention mechanism inside D-TDMA's reservation slots),
+* :mod:`repro.protocols.prma` -- Packet Reservation Multiple Access,
+* :mod:`repro.protocols.dtdma` -- Dynamic TDMA with dedicated reservation
+  minislots,
+* :mod:`repro.protocols.rama` -- Resource Auction Multiple Access with
+  its deterministic bit-by-bit ID auction,
+* :mod:`repro.protocols.drma` -- Dynamic Reservation Multiple Access
+  (reservation piggybacked into otherwise-unused information slots),
+* :mod:`repro.protocols.fama` -- Floor Acquisition Multiple Access
+  (CSMA/CD-style RTS/CTS floor acquisition),
+* :mod:`repro.protocols.rqma` -- Remote-Queueing Multiple Access
+  (deadline-scheduled real-time sessions with retransmission sessions),
+* :mod:`repro.protocols.mcns` -- the MCNS/DOCSIS cable-modem MAC
+  (MAP-based request/grant with piggyback requests).
+
+All models share the frame/slot abstractions and statistics in
+:mod:`repro.protocols.base`.
+"""
+
+from repro.protocols.base import ProtocolStats, VoiceModel
+from repro.protocols.aloha import SlottedAloha
+from repro.protocols.prma import PRMA
+from repro.protocols.dtdma import DynamicTDMA
+from repro.protocols.rama import RAMA
+from repro.protocols.drma import DRMA
+from repro.protocols.fama import FAMA
+from repro.protocols.rqma import RQMA, RqmaStats
+from repro.protocols.mcns import MCNS
+
+__all__ = [
+    "DRMA",
+    "DynamicTDMA",
+    "FAMA",
+    "MCNS",
+    "PRMA",
+    "ProtocolStats",
+    "RAMA",
+    "RQMA",
+    "RqmaStats",
+    "SlottedAloha",
+    "VoiceModel",
+]

@@ -1,0 +1,188 @@
+"""Shared machinery for the baseline MAC protocol models.
+
+The surveyed protocols (PRMA, D-TDMA, RAMA, DRMA) all divide time into
+frames of fixed-size slots and differ in *how a terminal converts a
+pending packet into a slot grant*.  These models simulate at slot
+granularity (one iteration per slot or per frame), which is the standard
+level of abstraction in the original papers' own evaluations.
+
+Terminals come in two flavours, matching the voice/data split those
+protocols were designed around:
+
+* **voice terminals** follow a two-state (talk-spurt / silence) Markov
+  model and *drop* packets older than a delay bound;
+* **data terminals** generate packets by a Bernoulli process per slot and
+  queue them indefinitely.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.metrics.stats import SummaryStats
+
+
+@dataclass
+class ProtocolStats:
+    """Outcome counters shared by all baseline protocol models."""
+
+    slots_total: int = 0
+    slots_carrying_payload: int = 0
+    slots_collided: int = 0
+    slots_idle: int = 0
+    voice_packets_delivered: int = 0
+    voice_packets_dropped: int = 0
+    data_packets_delivered: int = 0
+    data_packets_generated: int = 0
+    data_delay_slots: SummaryStats = field(default_factory=SummaryStats)
+    voice_access_delay_slots: SummaryStats = field(
+        default_factory=SummaryStats)
+
+    def throughput(self) -> float:
+        """Fraction of slots that carried a successful payload."""
+        return (self.slots_carrying_payload / self.slots_total
+                if self.slots_total else 0.0)
+
+    def collision_rate(self) -> float:
+        return (self.slots_collided / self.slots_total
+                if self.slots_total else 0.0)
+
+    def voice_drop_probability(self) -> float:
+        total = self.voice_packets_delivered + self.voice_packets_dropped
+        return self.voice_packets_dropped / total if total else 0.0
+
+    def mean_data_delay(self) -> float:
+        return self.data_delay_slots.mean
+
+    def summary(self) -> dict:
+        return {
+            "throughput": self.throughput(),
+            "collision_rate": self.collision_rate(),
+            "voice_drop_probability": self.voice_drop_probability(),
+            "mean_data_delay_slots": self.mean_data_delay(),
+        }
+
+
+class VoiceModel:
+    """Two-state talk-spurt/silence voice source.
+
+    During a talk spurt, one voice packet is generated per frame (the
+    classic PRMA assumption: speech codec rate matched to one slot per
+    frame).  Spurt and silence durations are geometric with the given
+    mean number of frames.
+    """
+
+    def __init__(self, mean_spurt_frames: float = 25.0,
+                 mean_silence_frames: float = 35.0):
+        if mean_spurt_frames <= 0 or mean_silence_frames <= 0:
+            raise ValueError("mean durations must be positive")
+        self.p_end_spurt = 1.0 / mean_spurt_frames
+        self.p_start_spurt = 1.0 / mean_silence_frames
+
+    def advance(self, talking: bool, rng: random.Random) -> bool:
+        """One frame step of the on/off chain."""
+        if talking:
+            return rng.random() >= self.p_end_spurt
+        return rng.random() < self.p_start_spurt
+
+    @property
+    def activity_factor(self) -> float:
+        """Stationary probability of being in a talk spurt."""
+        up = self.p_start_spurt
+        down = self.p_end_spurt
+        return up / (up + down)
+
+
+@dataclass
+class Packet:
+    """One queued packet at a terminal."""
+
+    created_slot: int
+
+
+class VoiceTerminal:
+    """A voice source with a reservation state and a drop deadline."""
+
+    def __init__(self, terminal_id: int, model: VoiceModel,
+                 max_delay_slots: int):
+        self.terminal_id = terminal_id
+        self.model = model
+        self.max_delay_slots = max_delay_slots
+        self.talking = False
+        self.has_reservation = False
+        self.reserved_slot: Optional[int] = None
+        self.pending: Deque[Packet] = deque()
+
+    def new_frame(self, frame_start_slot: int, rng: random.Random,
+                  stats: ProtocolStats) -> None:
+        """Advance the talk-spurt chain and enqueue this frame's packet."""
+        self.talking = self.model.advance(self.talking, rng)
+        if self.talking:
+            self.pending.append(Packet(created_slot=frame_start_slot))
+        elif self.has_reservation:
+            # Spurt ended: the reservation is released.
+            self.has_reservation = False
+            self.reserved_slot = None
+
+    def drop_expired(self, current_slot: int,
+                     stats: ProtocolStats) -> None:
+        while self.pending and (current_slot - self.pending[0].created_slot
+                                > self.max_delay_slots):
+            self.pending.popleft()
+            stats.voice_packets_dropped += 1
+
+    def transmit(self, current_slot: int, stats: ProtocolStats) -> bool:
+        """Send the head-of-line packet (assumes the slot is won)."""
+        if not self.pending:
+            return False
+        packet = self.pending.popleft()
+        stats.voice_packets_delivered += 1
+        stats.voice_access_delay_slots.push(
+            current_slot - packet.created_slot)
+        return True
+
+
+class DataTerminal:
+    """A best-effort data source with an unbounded queue."""
+
+    def __init__(self, terminal_id: int, arrival_probability: float):
+        if not 0.0 <= arrival_probability <= 1.0:
+            raise ValueError("arrival_probability must be in [0, 1]")
+        self.terminal_id = terminal_id
+        self.arrival_probability = arrival_probability
+        self.pending: Deque[Packet] = deque()
+        self.backoff = 0
+
+    def maybe_arrive(self, current_slot: int, rng: random.Random,
+                     stats: ProtocolStats) -> None:
+        if rng.random() < self.arrival_probability:
+            self.pending.append(Packet(created_slot=current_slot))
+            stats.data_packets_generated += 1
+
+    def transmit(self, current_slot: int, stats: ProtocolStats) -> bool:
+        if not self.pending:
+            return False
+        packet = self.pending.popleft()
+        stats.data_packets_delivered += 1
+        stats.data_delay_slots.push(current_slot - packet.created_slot)
+        return True
+
+
+def resolve_contention(contenders: List, current_slot: int,
+                       stats: ProtocolStats) -> Optional[object]:
+    """Classic collision-channel semantics for one slot.
+
+    Returns the lone transmitter if exactly one contender transmitted,
+    otherwise None (idle or collision), updating the slot counters.
+    """
+    stats.slots_total += 1
+    if not contenders:
+        stats.slots_idle += 1
+        return None
+    if len(contenders) > 1:
+        stats.slots_collided += 1
+        return None
+    return contenders[0]

@@ -1,0 +1,150 @@
+"""Dynamic TDMA (D-TDMA) [Wilson, Ganesh, Joseph, Raychaudhuri 1993].
+
+Fig. 5(2) of the paper: each frame is composed of ``r`` reservation
+minislots followed by voice slots and data slots.
+
+* Terminals send reservation requests in a randomly chosen reservation
+  minislot (slotted ALOHA).  Losers retry next frame with a
+  retransmission probability.
+* A voice terminal that wins a reservation keeps its voice slot in
+  subsequent frames until the talk spurt ends.
+* Data terminals are granted one data slot at a time (in the same frame
+  as the successful reservation, queue permitting).
+
+The base station (implicit here) broadcasts the final schedule at the
+end of the reservation period.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.protocols.base import (
+    DataTerminal,
+    ProtocolStats,
+    VoiceModel,
+    VoiceTerminal,
+    resolve_contention,
+)
+
+
+class DynamicTDMA:
+    """Frame-level D-TDMA with ALOHA reservation minislots."""
+
+    def __init__(self,
+                 num_voice: int,
+                 num_data: int,
+                 reservation_slots: int = 4,
+                 voice_slots: int = 10,
+                 data_slots: int = 6,
+                 data_arrival_probability: float = 0.01,
+                 retransmission_probability: float = 0.5,
+                 max_delay_frames: int = 2,
+                 voice_model: Optional[VoiceModel] = None,
+                 seed: int = 1):
+        self.rng = random.Random(seed)
+        self.reservation_slots = reservation_slots
+        self.voice_slots = voice_slots
+        self.data_slots = data_slots
+        self.retransmission_probability = retransmission_probability
+        self.slots_per_frame = reservation_slots + voice_slots + data_slots
+        model = voice_model or VoiceModel()
+        self.voice: List[VoiceTerminal] = [
+            VoiceTerminal(index, model,
+                          max_delay_slots=max_delay_frames
+                          * self.slots_per_frame)
+            for index in range(num_voice)]
+        self.data: List[DataTerminal] = [
+            DataTerminal(index, data_arrival_probability)
+            for index in range(num_data)]
+        #: Voice terminals currently holding a voice slot, in slot order.
+        self.voice_grants: List[VoiceTerminal] = []
+        #: Data terminals with an accepted reservation, FIFO served.
+        self.data_grant_queue: Deque[DataTerminal] = deque()
+        self.stats = ProtocolStats()
+        self.current_slot = 0
+        self.frame_index = 0
+
+    def _reservation_phase(self) -> None:
+        """r ALOHA minislots; winners enter the grant structures."""
+        voice_wanting = [terminal for terminal in self.voice
+                         if terminal.pending
+                         and not terminal.has_reservation]
+        data_wanting = [terminal for terminal in self.data
+                        if terminal.pending
+                        and terminal not in self.data_grant_queue]
+        requesters = []
+        for terminal in voice_wanting + data_wanting:
+            if self.rng.random() < self.retransmission_probability:
+                requesters.append(terminal)
+        choices = {}
+        for terminal in requesters:
+            slot = self.rng.randrange(self.reservation_slots)
+            choices.setdefault(slot, []).append(terminal)
+        for minislot in range(self.reservation_slots):
+            winner = resolve_contention(choices.get(minislot, []),
+                                        self.current_slot, self.stats)
+            self.current_slot += 1
+            if winner is None:
+                continue
+            if isinstance(winner, VoiceTerminal):
+                if len(self.voice_grants) < self.voice_slots:
+                    winner.has_reservation = True
+                    self.voice_grants.append(winner)
+            else:
+                self.data_grant_queue.append(winner)
+
+    def _voice_phase(self) -> None:
+        grants = list(self.voice_grants)
+        for index in range(self.voice_slots):
+            self.stats.slots_total += 1
+            if index < len(grants):
+                terminal = grants[index]
+                if terminal.transmit(self.current_slot, self.stats):
+                    self.stats.slots_carrying_payload += 1
+                else:
+                    self.stats.slots_idle += 1
+            else:
+                self.stats.slots_idle += 1
+            self.current_slot += 1
+
+    def _data_phase(self) -> None:
+        for _ in range(self.data_slots):
+            self.stats.slots_total += 1
+            terminal = None
+            while self.data_grant_queue and terminal is None:
+                candidate = self.data_grant_queue.popleft()
+                if candidate.pending:
+                    terminal = candidate
+            if terminal is not None:
+                terminal.transmit(self.current_slot, self.stats)
+                self.stats.slots_carrying_payload += 1
+                if terminal.pending:
+                    # One slot per reservation: re-enter the grant queue
+                    # (D-TDMA grants data slots one at a time).
+                    self.data_grant_queue.append(terminal)
+            else:
+                self.stats.slots_idle += 1
+            self.current_slot += 1
+
+    def step_frame(self) -> None:
+        frame_start = self.current_slot
+        for terminal in self.voice:
+            terminal.new_frame(frame_start, self.rng, self.stats)
+        self.voice_grants = [terminal for terminal in self.voice_grants
+                             if terminal.has_reservation]
+        for terminal in self.data:
+            terminal.maybe_arrive(frame_start, self.rng, self.stats)
+        for terminal in self.voice:
+            terminal.drop_expired(self.current_slot, self.stats)
+        self._reservation_phase()
+        self._voice_phase()
+        self._data_phase()
+        self.frame_index += 1
+
+    def run(self, num_frames: int) -> ProtocolStats:
+        for _ in range(num_frames):
+            self.step_frame()
+        return self.stats

@@ -1,0 +1,130 @@
+"""Packet Reservation Multiple Access (PRMA) [Nanda, Goodman, Timor 1991].
+
+Fig. 5(1) of the paper: time is divided into slots, several slots form a
+frame.  There is no dedicated reservation bandwidth:
+
+* A voice terminal with a new talk spurt contends for any *available*
+  (unreserved) slot with permission probability ``p_voice``.  On success
+  the slot is *reserved* for it in subsequent frames until the talk spurt
+  ends.
+* Data terminals must contend for every single packet (no reservations),
+  with permission probability ``p_data``.
+
+Voice packets that wait longer than ``max_delay_slots`` are dropped
+(speech is useless late).  The paper's critique -- "due to its CSMA
+nature, PRMA suffers from low utilization in medium to heavy traffic
+loads" -- shows up directly in this model's throughput curve.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.protocols.base import (
+    DataTerminal,
+    ProtocolStats,
+    VoiceModel,
+    VoiceTerminal,
+    resolve_contention,
+)
+
+
+class PRMA:
+    """Frame-based PRMA with reserved / available slot states."""
+
+    def __init__(self,
+                 num_voice: int,
+                 num_data: int,
+                 slots_per_frame: int = 20,
+                 data_arrival_probability: float = 0.01,
+                 p_voice: float = 0.3,
+                 p_data: float = 0.1,
+                 max_delay_frames: int = 2,
+                 voice_model: Optional[VoiceModel] = None,
+                 seed: int = 1):
+        if slots_per_frame <= 0:
+            raise ValueError("slots_per_frame must be positive")
+        self.rng = random.Random(seed)
+        self.slots_per_frame = slots_per_frame
+        self.p_voice = p_voice
+        self.p_data = p_data
+        model = voice_model or VoiceModel()
+        self.voice: List[VoiceTerminal] = [
+            VoiceTerminal(index, model,
+                          max_delay_slots=max_delay_frames
+                          * slots_per_frame)
+            for index in range(num_voice)]
+        self.data: List[DataTerminal] = [
+            DataTerminal(index, data_arrival_probability)
+            for index in range(num_data)]
+        #: slot index within frame -> voice terminal holding it.
+        self.reservations: Dict[int, VoiceTerminal] = {}
+        self.stats = ProtocolStats()
+        self.current_slot = 0
+
+    @property
+    def frame_index(self) -> int:
+        return self.current_slot // self.slots_per_frame
+
+    def _begin_frame(self) -> None:
+        for terminal in self.voice:
+            terminal.new_frame(self.current_slot, self.rng, self.stats)
+        for terminal in self.data:
+            # Arrivals are per frame, matching the other protocol models
+            # (one Bernoulli draw per terminal per frame).
+            terminal.maybe_arrive(self.current_slot, self.rng, self.stats)
+        # Reservations of terminals whose spurt ended are released.
+        self.reservations = {
+            slot: terminal for slot, terminal in self.reservations.items()
+            if terminal.has_reservation}
+
+    def step(self) -> None:
+        """Simulate one slot."""
+        in_frame = self.current_slot % self.slots_per_frame
+        if in_frame == 0:
+            self._begin_frame()
+        slot = self.current_slot
+        for terminal in self.voice:
+            terminal.drop_expired(slot, self.stats)
+
+        holder = self.reservations.get(in_frame)
+        if holder is not None and holder.has_reservation:
+            self.stats.slots_total += 1
+            if holder.transmit(slot, self.stats):
+                self.stats.slots_carrying_payload += 1
+            else:
+                # Nothing to send in a still-held reservation: the slot
+                # is wasted (spurt packet already sent this frame).
+                self.stats.slots_idle += 1
+            self.current_slot += 1
+            return
+
+        # Available slot: voice and data contend with their permission
+        # probabilities (pure PRMA, no carrier sensing between slots).
+        contenders: List[object] = []
+        for terminal in self.voice:
+            if terminal.pending and not terminal.has_reservation \
+                    and self.rng.random() < self.p_voice:
+                contenders.append(terminal)
+        for terminal in self.data:
+            if terminal.pending and self.rng.random() < self.p_data:
+                contenders.append(terminal)
+        winner = resolve_contention(contenders, slot, self.stats)
+        if winner is None:
+            self.current_slot += 1
+            return
+        if isinstance(winner, VoiceTerminal):
+            winner.transmit(slot, self.stats)
+            winner.has_reservation = True
+            winner.reserved_slot = in_frame
+            self.reservations[in_frame] = winner
+        else:
+            winner.transmit(slot, self.stats)
+        self.stats.slots_carrying_payload += 1
+        self.current_slot += 1
+
+    def run(self, num_frames: int) -> ProtocolStats:
+        for _ in range(num_frames * self.slots_per_frame):
+            self.step()
+        return self.stats

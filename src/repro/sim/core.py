@@ -1,0 +1,226 @@
+"""The simulator event loop and generator-based processes."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. scheduling in the past)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt()``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopProcess(Exception):
+    """Internal: raised via ``process.exit(value)`` to end a process early."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Process(Event):
+    """A generator coroutine driven by the simulator.
+
+    A process is itself an event: it triggers with the generator's return
+    value when the generator finishes, or fails with the exception that
+    escaped the generator.  Processes wait by yielding events::
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            got = yield store.get()
+            return got
+
+        proc = sim.process(worker(sim))
+    """
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process target must be a generator, "
+                            f"got {type(generator).__name__}")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at time now.
+        start = Event(sim)
+        start._ok = True
+        start._value = None
+        start.add_callback(self._resume)
+        sim._enqueue(start, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error.  The event the process
+        was waiting on stays pending; the process may re-wait on it.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self.name}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._waiting_on = None
+        wake = Event(self.sim)
+        wake._ok = False
+        wake._value = Interrupt(cause)
+        wake.add_callback(self._resume)
+        self.sim._enqueue(wake, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except StopProcess as stop:
+            self._generator.close()
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if self.sim.strict:
+                self.succeed(None)  # mark dead so interrupt() can't target it
+                raise
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                f"processes may only yield Event instances")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """Event loop with a floating-point clock starting at 0.
+
+    Parameters
+    ----------
+    strict:
+        When True (the default), an exception escaping a process propagates
+        out of :meth:`run` immediately.  When False, the process simply
+        fails as an event (useful when another process awaits it and
+        handles the failure).
+    """
+
+    def __init__(self, strict: bool = True):
+        self.now: float = 0.0
+        self.strict = strict
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    # -- event construction -------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event, triggered manually via succeed/fail."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: Optional[str] = None) -> Process:
+        """Spawn a generator as a process; returns the process event."""
+        return Process(self, generator, name=name)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Run a plain callback at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self.now})")
+        event = self.timeout(when - self.now)
+        event.add_callback(lambda _ev: callback())
+        return event
+
+    # -- scheduling internals ------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+
+    # -- execution -----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:  # pragma: no cover - heap guarantees order
+            raise SimulationError("time ran backwards")
+        self.now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_process(self, process: Process,
+                    until: Optional[float] = None) -> Any:
+        """Run until ``process`` finishes; returns its value.
+
+        Raises the process's exception if it failed, or
+        :class:`SimulationError` if the queue drains (or ``until`` passes)
+        before the process completes.
+        """
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"queue drained before {process.name!r} finished")
+            if until is not None and self._queue[0][0] > until:
+                raise SimulationError(
+                    f"{process.name!r} did not finish by t={until}")
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value

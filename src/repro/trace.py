@@ -1,0 +1,145 @@
+"""Structured event tracing for debugging and analysis.
+
+:class:`CellTracer` instruments a built (not yet run) cell through its
+public hooks only -- the reverse channel's delivery listener, a wildcard
+receiver on the forward channel, and the base station's registration
+hook -- so the protocol code runs unmodified.  Every on-air event becomes
+a :class:`TraceEvent` that can be filtered, summarized, or dumped as
+JSON lines for offline analysis.
+
+Example::
+
+    run = build_cell(config)
+    tracer = CellTracer(run)
+    run.sim.run(until=config.duration)
+    for event in tracer.query(category="uplink", event="collision"):
+        print(event)
+    tracer.write_jsonl("trace.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.cell import CellRun
+from repro.core.frames import DownlinkFrame, UplinkFrame
+from repro.phy.channel import Link, Transmission
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    time: float
+    category: str  # 'uplink' | 'downlink' | 'control'
+    event: str  # e.g. 'data', 'collision', 'cf1', 'registration'
+    actor: str  # transmitting entity
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"time": self.time, "category": self.category,
+                   "event": self.event, "actor": self.actor}
+        payload.update(self.detail)
+        return json.dumps(payload, sort_keys=True)
+
+
+class CellTracer:
+    """Records every on-air event of one cell."""
+
+    def __init__(self, run: CellRun, max_events: int = 1_000_000):
+        self.run = run
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        run.base_station.reverse.add_listener(self._on_uplink)
+        run.base_station.forward.attach(
+            f"tracer-{id(self)}", Link(), self._on_downlink)
+        self._chain_registration_hook(run)
+
+    def _chain_registration_hook(self, run: CellRun) -> None:
+        previous = run.base_station.on_registration
+
+        def hook(record):
+            self._record(TraceEvent(
+                time=run.sim.now, category="control",
+                event="registration", actor=f"uid-{record.uid}",
+                detail={"ein": record.ein, "service": record.service}))
+            if previous is not None:
+                previous(record)
+
+        run.base_station.on_registration = hook
+
+    # -- recording ------------------------------------------------------------
+
+    def _record(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def _on_uplink(self, transmission: Transmission, ok: bool) -> None:
+        frame: UplinkFrame = transmission.payload
+        if transmission.collided:
+            event = "collision"
+        elif not ok:
+            event = "loss"
+        else:
+            event = frame.kind
+        self._record(TraceEvent(
+            time=self.run.sim.now, category="uplink", event=event,
+            actor=str(transmission.sender),
+            detail={"cycle": frame.cycle,
+                    "slot_kind": frame.slot_kind,
+                    "slot": frame.slot_index,
+                    "contention": frame.contention,
+                    "kind": frame.kind,
+                    "ok": ok}))
+
+    def _on_downlink(self, transmission: Transmission, ok: bool) -> None:
+        frame: DownlinkFrame = transmission.payload
+        detail: Dict[str, Any] = {"cycle": frame.cycle, "ok": ok}
+        if frame.kind == "data":
+            detail["slot"] = frame.slot_index
+            detail["uid"] = frame.uid
+        self._record(TraceEvent(
+            time=self.run.sim.now, category="downlink",
+            event=frame.kind, actor="base-station", detail=detail))
+
+    # -- querying -------------------------------------------------------------
+
+    def query(self, category: Optional[str] = None,
+              event: Optional[str] = None,
+              actor: Optional[str] = None,
+              since: float = 0.0) -> Iterator[TraceEvent]:
+        """Filtered view of the recorded events."""
+        for item in self.events:
+            if category is not None and item.category != category:
+                continue
+            if event is not None and item.event != event:
+                continue
+            if actor is not None and item.actor != actor:
+                continue
+            if item.time < since:
+                continue
+            yield item
+
+    def count(self, **filters) -> int:
+        return sum(1 for _ in self.query(**filters))
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts keyed by 'category/event'."""
+        counts: Dict[str, int] = {}
+        for item in self.events:
+            key = f"{item.category}/{item.event}"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump all events as JSON lines; returns the event count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for item in self.events:
+                handle.write(item.to_json())
+                handle.write("\n")
+        return len(self.events)

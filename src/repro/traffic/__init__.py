@@ -1,0 +1,21 @@
+"""Workload generation for the evaluation scenarios (Section 5)."""
+
+from repro.traffic.messages import (
+    FixedSize,
+    Message,
+    MessageSizeDistribution,
+    PoissonMessageSource,
+    UniformSize,
+    interarrival_for_load,
+    make_size_distribution,
+)
+
+__all__ = [
+    "FixedSize",
+    "Message",
+    "MessageSizeDistribution",
+    "PoissonMessageSource",
+    "UniformSize",
+    "interarrival_for_load",
+    "make_size_distribution",
+]

@@ -1,0 +1,148 @@
+"""Theory vs simulation: the analytical models must agree with the DES."""
+
+import math
+
+import pytest
+
+from repro import CellConfig, run_cell
+from repro.analysis import (
+    contention_success_probability,
+    expected_message_delay_cycles,
+    forward_raw_bitrate,
+    gps_deadline_margin,
+    gps_worst_case_access_delay,
+    md1_mean_wait,
+    reverse_capacity,
+    reverse_protocol_efficiency,
+    reverse_raw_bitrate,
+    slotted_aloha_peak,
+    slotted_aloha_throughput,
+)
+from repro.protocols import SlottedAloha
+
+
+class TestChannelBudgets:
+    def test_raw_bitrates_match_section_2_2(self):
+        assert forward_raw_bitrate() == 6400  # "up to 6.4 kbps"
+        assert reverse_raw_bitrate() == 4800  # "4.8 kbps"
+
+    def test_reverse_efficiency_is_sobering(self):
+        """Preambles, pilots, parity, GPS and contention slots eat most
+        of the 4.8 kbps: well under half survives as user payload."""
+        efficiency = reverse_protocol_efficiency(num_gps_users=3,
+                                                 contention_slots=1)
+        assert 0.10 < efficiency < 0.35
+
+    def test_capacity_format_dependence(self):
+        few_gps = reverse_capacity(num_gps_users=1)
+        many_gps = reverse_capacity(num_gps_users=8)
+        assert few_gps.data_slots == 9
+        assert many_gps.data_slots == 8
+        assert few_gps.payload_bytes_per_cycle \
+            > many_gps.payload_bytes_per_cycle
+        static = reverse_capacity(num_gps_users=1,
+                                  dynamic_adjustment=False)
+        assert static.data_slots == 8
+
+    def test_max_utilization_formula(self):
+        capacity = reverse_capacity(num_gps_users=2, contention_slots=1)
+        assert capacity.max_utilization == pytest.approx(8 / 9)
+
+
+class TestCapacityAgainstSimulation:
+    def test_saturation_matches_theory(self):
+        """The simulated saturation utilization equals the analytical
+        (d - contention)/d ceiling to within a few percent."""
+        theory = reverse_capacity(num_gps_users=2).max_utilization
+        stats = run_cell(CellConfig(num_data_users=9, num_gps_users=2,
+                                    load_index=1.2, cycles=250,
+                                    warmup_cycles=40, seed=41))
+        assert stats.utilization() == pytest.approx(theory, rel=0.04)
+
+    def test_throughput_in_bytes_per_second(self):
+        capacity = reverse_capacity(num_gps_users=2)
+        stats = run_cell(CellConfig(num_data_users=9, num_gps_users=2,
+                                    load_index=1.2, cycles=250,
+                                    warmup_cycles=40, seed=41))
+        measured = (stats.data_packets_delivered * 44
+                    / (stats.measured_cycles * 3.984375))
+        assert measured == pytest.approx(
+            capacity.payload_bytes_per_second, rel=0.06)
+
+
+class TestDelayModel:
+    def test_md1_formula(self):
+        assert md1_mean_wait(0.0, 1.0) == 0.0
+        assert md1_mean_wait(0.5, 2.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            md1_mean_wait(1.0, 1.0)
+
+    def test_saturated_delay_is_infinite(self):
+        assert expected_message_delay_cycles(1.0) == math.inf
+
+    @pytest.mark.parametrize("load", [0.3, 0.5, 0.7])
+    def test_simulated_delay_within_model_band(self, load):
+        """Below saturation the sim delay agrees with the pipeline+M/D/1
+        model to within a factor of ~2 -- the sanity band that catches
+        gross scheduler or accounting bugs."""
+        theory = expected_message_delay_cycles(load, num_gps_users=2)
+        stats = run_cell(CellConfig(num_data_users=9, num_gps_users=2,
+                                    load_index=load, cycles=300,
+                                    warmup_cycles=40, seed=42))
+        measured = stats.mean_message_delay_cycles()
+        assert theory / 2.2 < measured < theory * 2.2
+
+    def test_delay_model_monotonic_in_load(self):
+        delays = [expected_message_delay_cycles(load)
+                  for load in (0.2, 0.4, 0.6, 0.8)]
+        assert delays == sorted(delays)
+
+
+class TestAlohaTheory:
+    def test_throughput_formula(self):
+        assert slotted_aloha_throughput(0) == 0
+        assert slotted_aloha_throughput(1.0) \
+            == pytest.approx(slotted_aloha_peak())
+        assert slotted_aloha_peak() == pytest.approx(0.3679, abs=1e-4)
+
+    def test_simulated_aloha_matches_formula(self):
+        """Saturated p-persistent ALOHA with n terminals at p = G/n
+        approaches S = G e^-G."""
+        for G in (0.5, 1.0, 2.0):
+            protocol = SlottedAloha(num_terminals=50,
+                                    arrival_probability=1.0,
+                                    transmit_probability=G / 50,
+                                    seed=int(G * 10))
+            stats = protocol.run(40000)
+            assert stats.throughput() == pytest.approx(
+                slotted_aloha_throughput(G), abs=0.03)
+
+    def test_contention_success_probability(self):
+        # 1 contender, 3 slots: P(this slot holds it) = 1/3.
+        assert contention_success_probability(1, 3) \
+            == pytest.approx(1 / 3)
+        assert contention_success_probability(0, 3) == 0.0
+        # 2 contenders, 2 slots: P(this slot has exactly one) = 1/2.
+        assert contention_success_probability(2, 2) \
+            == pytest.approx(0.5)
+        # Heavily overloaded slots are nearly hopeless.
+        assert contention_success_probability(63, 7) < 1e-2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slotted_aloha_throughput(-1)
+        with pytest.raises(ValueError):
+            contention_success_probability(1, 0)
+
+
+class TestGpsBound:
+    def test_worst_case_below_deadline(self):
+        assert gps_worst_case_access_delay() < 4.0
+        assert gps_deadline_margin() == pytest.approx(4.0 - 3.984375)
+
+    def test_simulated_max_delay_below_analytical_bound(self):
+        stats = run_cell(CellConfig(num_data_users=4, num_gps_users=8,
+                                    load_index=0.5, cycles=200,
+                                    warmup_cycles=30, seed=43))
+        assert stats.gps_access_delay.max \
+            <= gps_worst_case_access_delay() + 1e-9

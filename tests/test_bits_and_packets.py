@@ -1,0 +1,209 @@
+"""Unit and property tests for bit packing and MAC packet formats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bits import BitReader, BitWriter
+from repro.core.packets import (
+    DataPacket,
+    ForwardPacket,
+    GPSPacket,
+    MAX_ASSIGNABLE_UID,
+    PAYLOAD_BYTES,
+    RegistrationPacket,
+    ReservationPacket,
+    SERVICE_DATA,
+    SERVICE_GPS,
+    UNASSIGNED,
+    decode_uplink,
+)
+from repro.phy import timing
+
+
+class TestBitWriterReader:
+    def test_simple_roundtrip(self):
+        writer = BitWriter()
+        writer.write(5, 3).write(1, 1).write(200, 8)
+        reader = BitReader(writer.getvalue())
+        assert reader.read(3) == 5
+        assert reader.read(1) == 1
+        assert reader.read(8) == 200
+
+    @given(st.lists(st.tuples(st.integers(1, 24), st.integers(0, 2**24 - 1)),
+                    min_size=1, max_size=20))
+    def test_property_roundtrip(self, fields):
+        writer = BitWriter()
+        expected = []
+        for nbits, raw in fields:
+            value = raw & ((1 << nbits) - 1)
+            writer.write(value, nbits)
+            expected.append((nbits, value))
+        reader = BitReader(writer.getvalue())
+        for nbits, value in expected:
+            assert reader.read(nbits) == value
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(8, 3)
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 3)
+
+    def test_padding(self):
+        data = BitWriter().write(1, 1).getvalue(pad_to_bytes=10)
+        assert len(data) == 10
+        assert data[0] == 0x80
+
+    def test_pad_too_small_rejected(self):
+        writer = BitWriter().write_bytes(bytes(5))
+        with pytest.raises(ValueError):
+            writer.getvalue(pad_to_bytes=2)
+
+    def test_bytes_roundtrip(self):
+        payload = bytes(range(10))
+        writer = BitWriter().write(3, 4).write_bytes(payload)
+        reader = BitReader(writer.getvalue())
+        assert reader.read(4) == 3
+        assert reader.read_bytes(10) == payload
+
+    def test_bool_roundtrip(self):
+        writer = BitWriter().write_bool(True).write_bool(False)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bool() is True
+        assert reader.read_bool() is False
+
+    def test_read_past_end(self):
+        reader = BitReader(b"\x00")
+        reader.read(8)
+        with pytest.raises(ValueError):
+            reader.read(1)
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        assert reader.bits_remaining == 16
+        reader.read(5)
+        assert reader.bits_remaining == 11
+
+
+class TestDataPacket:
+    def test_roundtrip(self):
+        packet = DataPacket(uid=13, seq=1023, payload_len=20,
+                            piggyback=7, more=True,
+                            payload=bytes(range(20)))
+        data = packet.encode()
+        assert len(data) == timing.RS_INFO_BYTES
+        decoded = DataPacket.decode(data)
+        assert decoded.uid == 13
+        assert decoded.seq == 1023
+        assert decoded.payload_len == 20
+        assert decoded.piggyback == 7
+        assert decoded.more is True
+        assert decoded.payload == bytes(range(20))
+
+    @given(st.integers(0, MAX_ASSIGNABLE_UID), st.integers(0, 4095),
+           st.integers(0, PAYLOAD_BYTES), st.integers(0, 15),
+           st.booleans(), st.binary(min_size=0, max_size=PAYLOAD_BYTES))
+    def test_property_roundtrip(self, uid, seq, length, piggyback, more,
+                                payload):
+        payload = payload[:length].ljust(length, b"\0")
+        packet = DataPacket(uid=uid, seq=seq, payload_len=length,
+                            piggyback=piggyback, more=more,
+                            payload=payload)
+        decoded = DataPacket.decode(packet.encode())
+        assert (decoded.uid, decoded.seq, decoded.payload_len,
+                decoded.piggyback, decoded.more) \
+            == (uid, seq, length, piggyback, more)
+        assert decoded.payload == payload
+
+    def test_fits_one_rs_codeword(self):
+        """Header + payload = 384 info bits exactly (Table 1)."""
+        assert 32 + PAYLOAD_BYTES * 8 == timing.RS_INFO_BITS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataPacket(uid=63, seq=0, payload_len=0)  # 63 is reserved
+        with pytest.raises(ValueError):
+            DataPacket(uid=0, seq=0, payload_len=PAYLOAD_BYTES + 1)
+        with pytest.raises(ValueError):
+            DataPacket(uid=0, seq=5000, payload_len=0)
+        with pytest.raises(ValueError):
+            DataPacket(uid=0, seq=0, payload_len=0, piggyback=16)
+
+    def test_decode_rejects_wrong_type(self):
+        reservation = ReservationPacket(uid=1, requested=3)
+        with pytest.raises(ValueError):
+            DataPacket.decode(reservation.encode())
+
+
+class TestControlPackets:
+    def test_reservation_roundtrip(self):
+        packet = ReservationPacket(uid=42, requested=17)
+        decoded = ReservationPacket.decode(packet.encode())
+        assert decoded.uid == 42
+        assert decoded.requested == 17
+
+    def test_registration_roundtrip(self):
+        packet = RegistrationPacket(ein=0xBEEF, service=SERVICE_GPS)
+        decoded = RegistrationPacket.decode(packet.encode())
+        assert decoded.ein == 0xBEEF
+        assert decoded.service == SERVICE_GPS
+
+    def test_registration_rejects_reserved_ein(self):
+        with pytest.raises(ValueError):
+            RegistrationPacket(ein=0xFFFF)
+
+    def test_registration_rejects_unknown_service(self):
+        with pytest.raises(ValueError):
+            RegistrationPacket(ein=1, service=3)
+
+    def test_reservation_range_checked(self):
+        with pytest.raises(ValueError):
+            ReservationPacket(uid=1, requested=64)
+
+    def test_decode_uplink_dispatches(self):
+        assert isinstance(
+            decode_uplink(DataPacket(uid=1, seq=0, payload_len=0).encode()),
+            DataPacket)
+        assert isinstance(
+            decode_uplink(ReservationPacket(uid=1, requested=2).encode()),
+            ReservationPacket)
+        assert isinstance(
+            decode_uplink(RegistrationPacket(ein=9).encode()),
+            RegistrationPacket)
+
+
+class TestGPSPacket:
+    def test_is_72_bits(self):
+        packet = GPSPacket(uid=5, seq=100, latitude=123456,
+                           longitude=654321)
+        assert len(packet.encode()) == 9  # 72 bits (Section 2.1)
+
+    @given(st.integers(0, MAX_ASSIGNABLE_UID), st.integers(0, 1023),
+           st.integers(0, 2**28 - 1), st.integers(0, 2**28 - 1))
+    def test_roundtrip(self, uid, seq, lat, lon):
+        packet = GPSPacket(uid=uid, seq=seq, latitude=lat, longitude=lon)
+        decoded = GPSPacket.decode(packet.encode())
+        assert (decoded.uid, decoded.seq, decoded.latitude,
+                decoded.longitude) == (uid, seq, lat, lon)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPSPacket(uid=0, seq=1024)
+        with pytest.raises(ValueError):
+            GPSPacket(uid=0, seq=0, latitude=1 << 28)
+
+
+class TestForwardPacket:
+    def test_conversion_to_data_packet(self):
+        forward = ForwardPacket(uid=3, seq=5000, payload_len=10,
+                                message_id=7, more=True, created_at=1.5)
+        packet = forward.to_data_packet()
+        assert packet.uid == 3
+        assert packet.seq == 5000 % 4096
+        assert packet.payload_len == 10
+        assert packet.more is True
+        assert packet.created_at == 1.5
+
+    def test_sentinel_constants(self):
+        assert UNASSIGNED == 63
+        assert MAX_ASSIGNABLE_UID == 62
+        assert SERVICE_DATA != SERVICE_GPS

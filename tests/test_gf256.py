@@ -1,0 +1,127 @@
+"""Unit and property tests for GF(2^8) arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.gf256 import GF256, FIELD_SIZE, PRIMITIVE_POLY
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_is_xor_and_commutative(self, a, b):
+        assert GF256.add(a, b) == (a ^ b) == GF256.add(b, a)
+
+    @given(elements)
+    def test_addition_self_inverse(self, a):
+        assert GF256.add(a, a) == 0
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        left = GF256.mul(a, GF256.add(b, c))
+        right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+        assert left == right
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert GF256.mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert GF256.mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert GF256.div(GF256.mul(a, b), b) == a
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+
+    @given(nonzero, st.integers(min_value=0, max_value=300))
+    def test_pow_matches_repeated_multiplication(self, a, n):
+        expected = 1
+        for _ in range(n):
+            expected = GF256.mul(expected, a)
+        assert GF256.pow(a, n) == expected
+
+    def test_pow_zero_cases(self):
+        assert GF256.pow(0, 0) == 1
+        assert GF256.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            GF256.pow(0, -1)
+
+    def test_generator_has_full_order(self):
+        """alpha = 2 generates the full multiplicative group (order 255)."""
+        seen = set()
+        value = 1
+        for _ in range(255):
+            seen.add(value)
+            value = GF256.mul(value, 2)
+        assert len(seen) == 255
+        assert value == 1  # alpha^255 = 1
+
+    def test_exp_log_roundtrip(self):
+        for a in range(1, FIELD_SIZE):
+            assert GF256.exp[GF256.log[a]] == a
+
+
+class TestPolynomials:
+    def test_poly_eval_horner(self):
+        # p(x) = x^2 + 3 over GF(256): p(2) = 4 ^ 3 = 7
+        assert GF256.poly_eval([1, 0, 3], 2) == 7
+
+    def test_poly_mul_identity(self):
+        assert GF256.poly_mul([1], [5, 6, 7]) == [5, 6, 7]
+
+    @given(st.lists(elements, min_size=1, max_size=8),
+           st.lists(elements, min_size=1, max_size=8), elements)
+    def test_poly_mul_matches_eval(self, p, q, x):
+        product = GF256.poly_mul(p, q)
+        assert GF256.poly_eval(product, x) == GF256.mul(
+            GF256.poly_eval(p, x), GF256.poly_eval(q, x))
+
+    @given(st.lists(elements, min_size=1, max_size=8),
+           st.lists(elements, min_size=1, max_size=8), elements)
+    def test_poly_add_matches_eval(self, p, q, x):
+        total = GF256.poly_add(p, q)
+        assert GF256.poly_eval(total, x) == GF256.add(
+            GF256.poly_eval(p, x), GF256.poly_eval(q, x))
+
+    @given(st.lists(elements, min_size=2, max_size=10),
+           st.lists(elements, min_size=1, max_size=5).filter(
+               lambda c: any(c)))
+    def test_divmod_reconstructs(self, dividend, divisor):
+        quotient, remainder = GF256.poly_divmod(dividend, divisor)
+        # dividend == quotient * divisor + remainder (as polynomials)
+        product = GF256.poly_mul(quotient, GF256.poly_strip(divisor))
+        reconstructed = GF256.poly_add(product, remainder)
+        assert (GF256.poly_strip(reconstructed)
+                == GF256.poly_strip(dividend))
+
+    def test_divmod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.poly_divmod([1, 2, 3], [0])
+
+    def test_poly_strip(self):
+        assert GF256.poly_strip([0, 0, 1, 2]) == [1, 2]
+        assert GF256.poly_strip([0, 0]) == [0]
+
+    def test_primitive_poly_constant(self):
+        assert PRIMITIVE_POLY == 0x11D

@@ -1,0 +1,309 @@
+"""Integration tests: full-cell simulations and protocol invariants.
+
+These exercise the complete OSU-MAC stack -- base station, subscribers,
+GPS units, channels -- and assert the properties the paper's design
+guarantees: half-duplex safety, registration convergence, GPS temporal
+QoS, reliable data delivery, and the documented behaviour of the
+two-control-field structure and dynamic slot adjustment.
+"""
+
+import pytest
+
+from repro import CellConfig, run_cell, run_cell_detailed
+from repro.core.subscriber import ACTIVE
+from repro.phy import timing
+
+
+def small_config(**overrides):
+    defaults = dict(num_data_users=6, num_gps_users=2, load_index=0.5,
+                    cycles=80, warmup_cycles=15, seed=11)
+    defaults.update(overrides)
+    return CellConfig(**defaults)
+
+
+class TestBasicOperation:
+    def test_everyone_registers(self):
+        run = run_cell_detailed(small_config())
+        assert all(u.state == ACTIVE for u in run.data_users)
+        assert all(g.state == ACTIVE for g in run.gps_units)
+        assert run.stats.registrations_completed == 8
+
+    def test_user_ids_unique(self):
+        run = run_cell_detailed(small_config())
+        uids = [u.uid for u in run.data_users + run.gps_units]
+        assert len(uids) == len(set(uids))
+        assert all(0 <= uid <= 62 for uid in uids)
+
+    def test_data_flows(self):
+        stats = run_cell(small_config())
+        assert stats.data_packets_delivered > 50
+        assert stats.messages_delivered > 10
+        assert stats.message_loss_rate() == 0.0
+
+    def test_gps_reports_flow(self):
+        stats = run_cell(small_config())
+        assert stats.gps_packets_delivered > 100
+        # Perfect channel: everything transmitted is delivered.
+        assert stats.gps_packets_delivered == stats.gps_packets_sent
+
+    def test_no_half_duplex_violations(self):
+        """The scheduling constraints (i)-(iii) and the two-control-field
+        listening rules must keep every subscriber's radio timeline legal."""
+        stats = run_cell(small_config())
+        assert stats.radio_violations == 0
+
+    def test_deterministic_given_seed(self):
+        first = run_cell(small_config(seed=42)).summary()
+        second = run_cell(small_config(seed=42)).summary()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = run_cell(small_config(seed=1)).summary()
+        second = run_cell(small_config(seed=2)).summary()
+        assert first != second
+
+
+class TestLoadBehaviour:
+    def test_utilization_tracks_light_load(self):
+        stats = run_cell(small_config(load_index=0.3, cycles=200,
+                                      warmup_cycles=30, num_data_users=9))
+        assert stats.utilization() == pytest.approx(0.3, abs=0.08)
+
+    def test_utilization_saturates_below_one(self):
+        stats = run_cell(small_config(load_index=1.1, cycles=200,
+                                      warmup_cycles=30, num_data_users=9))
+        # Capacity is bounded by (d - contention) / d = 8/9.
+        assert stats.utilization() <= 8 / 9 + 0.02
+        assert stats.utilization() > 0.8
+
+    def test_overload_drops_messages(self):
+        stats = run_cell(small_config(load_index=1.1, cycles=200,
+                                      warmup_cycles=30,
+                                      buffer_packets=30))
+        assert stats.messages_dropped > 0
+
+    def test_delay_grows_with_load(self):
+        low = run_cell(small_config(load_index=0.3, cycles=150,
+                                    warmup_cycles=20))
+        high = run_cell(small_config(load_index=1.0, cycles=150,
+                                     warmup_cycles=20))
+        assert high.mean_message_delay_cycles() \
+            > 2 * low.mean_message_delay_cycles()
+
+    def test_light_load_delay_is_a_few_cycles(self):
+        """Fig. 8(b): packets delivered in ~3-5 cycles under light load."""
+        stats = run_cell(small_config(load_index=0.3, cycles=200,
+                                      warmup_cycles=30))
+        assert 1.0 < stats.mean_message_delay_cycles() < 6.0
+
+    def test_control_overhead_decreases_with_load(self):
+        """Fig. 9/10: piggybacking displaces reservation packets."""
+        low = run_cell(small_config(load_index=0.3, cycles=250,
+                                    warmup_cycles=30, num_data_users=9))
+        high = run_cell(small_config(load_index=1.1, cycles=250,
+                                     warmup_cycles=30, num_data_users=9))
+        assert high.control_overhead() < low.control_overhead()
+
+    def test_fairness_high_under_saturation(self):
+        """Fig. 11: round-robin keeps the Jain index near 1."""
+        stats = run_cell(small_config(load_index=1.0, cycles=300,
+                                      warmup_cycles=30, num_data_users=9))
+        assert stats.fairness() > 0.97
+
+
+class TestReliability:
+    def test_acked_packets_not_retransmitted(self):
+        """Perfect channel: sent == delivered (no spurious retransmits
+        once contention losses are excluded)."""
+        run = run_cell_detailed(small_config(load_index=0.4))
+        stats = run.stats
+        retransmissions = stats.data_packets_sent \
+            - stats.data_packets_delivered
+        # Only contention-slot collisions may cost transmissions.
+        assert retransmissions <= stats.contention_attempts_collided + 2
+
+    def test_lossy_channel_still_delivers(self):
+        """Outage losses trigger retransmission via the ACK machinery."""
+        stats = run_cell(small_config(
+            error_model="outage", outage_loss=0.08, load_index=0.4,
+            cycles=150, warmup_cycles=20))
+        assert stats.data_packets_delivered > 30
+        assert stats.radio_violations == 0
+        assert stats.data_packets_sent > stats.data_packets_delivered
+        assert stats.cf_losses > 0
+
+    def test_lossy_channel_message_completion(self):
+        run = run_cell_detailed(small_config(
+            error_model="outage", outage_loss=0.05, load_index=0.3,
+            cycles=200, warmup_cycles=20))
+        stats = run.stats
+        # Messages eventually complete despite losses.
+        assert stats.messages_delivered >= 0.8 * stats.messages_generated \
+            - stats.messages_dropped - 5
+
+
+class TestTwoControlFields:
+    def test_last_slot_carries_data_under_load(self):
+        """Fig. 12(a): the second CF set makes the last reverse data slot
+        usable; under load it carries ~1/8 of the packets."""
+        stats = run_cell(small_config(load_index=1.0, cycles=200,
+                                      warmup_cycles=30, num_data_users=9))
+        assert stats.data_packets_in_last_slot > 0
+        assert 0.04 < stats.second_cf_gain() < 0.16
+
+    def test_without_second_cf_last_slot_unused(self):
+        stats = run_cell(small_config(load_index=1.0, cycles=200,
+                                      warmup_cycles=30, num_data_users=9,
+                                      use_second_cf=False))
+        assert stats.data_packets_in_last_slot == 0
+        assert stats.second_cf_gain() == 0.0
+        assert stats.radio_violations == 0
+
+    def test_second_cf_improves_throughput(self):
+        base = small_config(load_index=1.1, cycles=250, warmup_cycles=30,
+                            num_data_users=9)
+        with_cf2 = run_cell(base)
+        without = run_cell(small_config(load_index=1.1, cycles=250,
+                                        warmup_cycles=30,
+                                        num_data_users=9,
+                                        use_second_cf=False))
+        assert with_cf2.utilization() > without.utilization()
+
+
+class TestGpsQoS:
+    def test_access_delay_bounded(self):
+        """Section 2.1: every GPS report transmitted within 4 seconds."""
+        stats = run_cell(small_config(num_gps_users=8, cycles=150,
+                                      warmup_cycles=20))
+        assert stats.gps_packets_sent > 500
+        assert stats.gps_deadline_misses == 0
+        assert stats.gps_access_delay.max < timing.GPS_DEADLINE
+
+    def test_gps_qos_independent_of_data_load(self):
+        stats = run_cell(small_config(num_gps_users=8, load_index=1.1,
+                                      cycles=150, warmup_cycles=20,
+                                      num_data_users=9))
+        assert stats.gps_deadline_misses == 0
+
+    def test_format_2_used_with_few_gps_users(self):
+        run = run_cell_detailed(small_config(num_gps_users=2))
+        record = run.base_station.record_for(run.base_station.cycle - 1)
+        assert record.layout.format_id == 2
+        assert record.layout.data_slots == 9
+
+    def test_format_1_used_with_many_gps_users(self):
+        run = run_cell_detailed(small_config(num_gps_users=5))
+        record = run.base_station.record_for(run.base_station.cycle - 1)
+        assert record.layout.format_id == 1
+        assert record.layout.data_slots == 8
+
+    def test_static_adjustment_wastes_slots(self):
+        """Fig. 12(b): without dynamic adjustment, one GPS user still
+        costs the whole format-1 GPS region."""
+        dynamic = run_cell(small_config(num_gps_users=1, load_index=1.1,
+                                        cycles=200, warmup_cycles=30,
+                                        num_data_users=9))
+        static = run_cell(small_config(num_gps_users=1, load_index=1.1,
+                                       cycles=200, warmup_cycles=30,
+                                       num_data_users=9,
+                                       dynamic_slot_adjustment=False))
+        assert dynamic.mean_data_slots_used() \
+            > static.mean_data_slots_used()
+        assert dynamic.radio_violations == 0
+        assert static.radio_violations == 0
+
+
+class TestGpsChurn:
+    def test_sign_off_consolidates_and_preserves_qos(self):
+        """R3 reassignment under churn never violates the 4 s deadline."""
+        run = build = None
+        from repro.core.cell import build_cell
+        config = small_config(num_gps_users=8, cycles=160,
+                              warmup_cycles=10, seed=5)
+        run = build_cell(config)
+        bs = run.base_station
+
+        # Sign off GPS units at various points mid-run.
+        def sign_off_later(unit, when):
+            def action():
+                if unit.uid is not None:
+                    bs.sign_off(unit.uid)
+            run.sim.call_at(when, action)
+
+        for index, unit in enumerate(run.gps_units[:5]):
+            sign_off_later(unit, (40 + 15 * index) * timing.CYCLE_LENGTH)
+
+        run.sim.run(until=config.duration)
+        stats = run.stats
+        for unit in run.gps_units:
+            stats.radio_violations += len(unit.radio.violations)
+        for user in run.data_users:
+            stats.radio_violations += len(user.radio.violations)
+
+        assert stats.gps_deadline_misses == 0
+        assert stats.radio_violations == 0
+        bs.gps_mgr.check_invariants()
+        # 3 remain -> format 2 with consolidated slots.
+        assert bs.gps_mgr.active_count == 3
+        assert bs.gps_mgr.format_id == 2
+        assert bs.gps_mgr.occupied_slots() == [0, 1, 2]
+        assert bs.gps_mgr.reassignments  # R3 actually fired
+
+
+class TestRegistrationStorm:
+    def test_simultaneous_storm_converges(self):
+        run = run_cell_detailed(small_config(
+            num_data_users=12, num_gps_users=8, cycles=80,
+            warmup_cycles=20, seed=9))
+        assert run.stats.registrations_completed == 20
+        assert run.stats.registration_latency_cycles.max <= 40
+
+    def test_poisson_arrivals_meet_design_goal(self):
+        """Section 2.1: 80% within 2 cycles, 99% within 10 (for sparse
+        arrivals, the intended operating regime)."""
+        stats = run_cell(small_config(
+            num_data_users=14, num_gps_users=8, cycles=120,
+            warmup_cycles=30, registration_mode="poisson",
+            registration_rate=0.05, seed=21))
+        assert stats.registrations_completed >= 20
+        assert stats.registration_cdf(2) >= 0.8
+        assert stats.registration_cdf(10) >= 0.95
+
+
+class TestForwardChannel:
+    def test_downlink_delivery(self):
+        stats = run_cell(small_config(forward_load_index=0.3,
+                                      cycles=120, warmup_cycles=20))
+        assert stats.forward_packets_delivered > 50
+        assert stats.forward_packets_delivered == stats.forward_packets_sent
+        assert stats.radio_violations == 0
+
+    def test_downlink_with_uplink_respects_half_duplex(self):
+        stats = run_cell(small_config(forward_load_index=0.5,
+                                      load_index=0.9, cycles=150,
+                                      warmup_cycles=20, num_data_users=9))
+        assert stats.radio_violations == 0
+        assert stats.forward_packets_delivered > 100
+
+
+class TestPaging:
+    def test_paging_announced_in_cf(self):
+        from repro.core.cell import build_cell
+        config = small_config(cycles=40, warmup_cycles=10)
+        run = build_cell(config)
+        captured = []
+
+        original = run.base_station._make_cf
+
+        def capture(record, which):
+            cf = original(record, which)
+            if cf.paging and any(uid is not None for uid in cf.paging):
+                captured.append((cf.cycle, which, list(cf.paging)))
+            return cf
+
+        run.base_station._make_cf = capture
+        run.sim.call_at(10 * timing.CYCLE_LENGTH,
+                        lambda: run.base_station.page(17))
+        run.sim.run(until=config.duration)
+        assert captured
+        assert captured[0][2][0] == 17

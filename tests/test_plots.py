@@ -1,0 +1,68 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.plots import (
+    ascii_chart,
+    ascii_multi_chart,
+    render_result,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart([0, 1, 2], [0.0, 0.5, 1.0],
+                            title="demo", x_label="load")
+        assert "demo" in chart
+        assert "load" in chart
+        assert "*" in chart
+        assert "1" in chart  # y max label
+
+    def test_extremes_plotted_at_edges(self):
+        chart = ascii_chart([0, 10], [0, 100], width=20, height=5)
+        lines = chart.splitlines()
+        plot_lines = [line for line in lines if "|" in line]
+        # Max value on the top plot row, min on the bottom one.
+        assert "*" in plot_lines[0]
+        assert "*" in plot_lines[-1]
+
+    def test_constant_series(self):
+        chart = ascii_chart([0, 1, 2], [5, 5, 5])
+        assert "*" in chart  # no division-by-zero on flat data
+
+    def test_single_point(self):
+        chart = ascii_chart([1], [3])
+        assert "*" in chart
+
+    def test_multi_series_legend(self):
+        chart = ascii_multi_chart(
+            [0, 1], [("a", [0, 1], "*"), ("b", [1, 0], "o")])
+        assert "* = a" in chart
+        assert "o = b" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_multi_chart([0, 1], [("a", [1], "*")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_multi_chart([], [])
+
+
+class TestRenderResult:
+    def make_result(self):
+        return ExperimentResult(
+            experiment_id="demo", title="Demo",
+            headers=["load", "util", "delay"],
+            rows=[[0.3, 0.3, 2.0], [0.9, 0.85, 10.0], [1.1, 0.88, 30.0]])
+
+    def test_render_all_numeric_columns(self):
+        chart = render_result(self.make_result(), "load")
+        assert "* = util" in chart
+        assert "o = delay" in chart
+
+    def test_render_selected_column(self):
+        chart = render_result(self.make_result(), "load", ["util"])
+        assert "Demo" in chart
+        assert "delay" not in chart

@@ -1,0 +1,69 @@
+"""Tests for the MCNS/DOCSIS cable-modem MAC model."""
+
+import pytest
+
+from repro.protocols import MCNS
+
+
+class TestMCNS:
+    def test_carries_traffic(self):
+        protocol = MCNS(num_modems=10, arrival_probability=0.1, seed=1)
+        stats = protocol.run(2000)
+        assert stats.data_packets_delivered > 500
+        assert stats.throughput() > 0.1
+
+    def test_piggyback_dominates_under_load(self):
+        """The same phenomenon as OSU-MAC's Fig. 9: under load, requests
+        ride piggyback on granted transmissions instead of contending."""
+        light = MCNS(num_modems=10, arrival_probability=0.02, seed=2)
+        light.run(3000)
+        heavy = MCNS(num_modems=10, arrival_probability=0.5, seed=2)
+        heavy.run(3000)
+        assert heavy.piggyback_fraction() > 2 * max(
+            light.piggyback_fraction(), 0.05)
+
+    def test_piggyback_disabled_costs_throughput(self):
+        kwargs = dict(num_modems=15, arrival_probability=0.5,
+                      request_region=4, seed=3)
+        with_piggyback = MCNS(piggyback=True, **kwargs).run(3000)
+        without = MCNS(piggyback=False, **kwargs).run(3000)
+        # Without piggyback every packet pays the contention toll, which
+        # bottlenecks at the small request region.
+        assert with_piggyback.data_packets_delivered \
+            > 1.2 * without.data_packets_delivered
+
+    def test_backoff_window_resets_on_success(self):
+        protocol = MCNS(num_modems=30, arrival_probability=0.4, seed=4)
+        protocol.run(500)
+        # Modems that got through have their windows reset.
+        assert any(modem.backoff_window == 1
+                   for modem in protocol.modems)
+
+    def test_collision_backoff_grows_and_caps(self):
+        import random
+        protocol = MCNS(num_modems=2, arrival_probability=0.0, seed=5)
+        modem = protocol.modems[0]
+        rng = random.Random(1)
+        for _ in range(10):
+            modem.on_collision(rng)
+        assert modem.backoff_window == 64  # DOCSIS-style cap
+
+    def test_counters_consistent(self):
+        protocol = MCNS(num_modems=10, arrival_probability=0.3, seed=6)
+        stats = protocol.run(1000)
+        assert stats.data_packets_delivered \
+            <= stats.data_packets_generated
+        assert stats.slots_carrying_payload <= stats.slots_total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MCNS(num_modems=0)
+        with pytest.raises(ValueError):
+            MCNS(num_modems=5, minislots_per_map=10, request_region=10)
+
+    def test_delay_grows_with_load(self):
+        light = MCNS(num_modems=10, arrival_probability=0.05,
+                     seed=7).run(3000)
+        heavy = MCNS(num_modems=10, arrival_probability=0.35,
+                     seed=7).run(3000)
+        assert heavy.mean_data_delay() > light.mean_data_delay()

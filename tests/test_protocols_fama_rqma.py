@@ -1,0 +1,112 @@
+"""Tests for the FAMA and RQMA baseline models (completing Section 4)."""
+
+import pytest
+
+from repro.protocols import FAMA, RQMA
+
+
+class TestFAMA:
+    def test_floor_acquisition_carries_traffic(self):
+        protocol = FAMA(num_terminals=10, arrival_probability=0.02,
+                        seed=1)
+        stats = protocol.run(20000)
+        assert stats.data_packets_delivered > 100
+        assert stats.throughput() > 0.2
+
+    def test_collisions_cost_only_minislots(self):
+        """FAMA's defining property vs ALOHA: a collision wastes one
+        control mini-slot, not a whole packet time, so saturated
+        throughput stays high."""
+        protocol = FAMA(num_terminals=20, arrival_probability=1.0,
+                        persistence=0.1, data_minislots=10, seed=2)
+        stats = protocol.run(30000)
+        # 10 payload mini-slots per (1 RTS + 1 CTS + 10 data) exchange is
+        # ~0.83; collisions and idles eat some but it stays well above
+        # ALOHA's 1/e on *packet* slots.
+        assert stats.throughput() > 0.55
+
+    def test_floor_is_exclusive(self):
+        """While the floor is held, no other terminal transmits: there
+        can be no payload collisions at all."""
+        protocol = FAMA(num_terminals=15, arrival_probability=0.5,
+                        seed=3)
+        protocol.run(10000)
+        # All collisions recorded are RTS collisions.
+        assert protocol.stats.slots_collided == protocol.rts_collisions
+
+    def test_control_overhead_reported(self):
+        protocol = FAMA(num_terminals=5, arrival_probability=0.05,
+                        seed=4)
+        protocol.run(10000)
+        assert protocol.control_overhead() > 0
+
+    def test_longer_packets_amortize_overhead(self):
+        short = FAMA(num_terminals=10, arrival_probability=1.0,
+                     persistence=0.1, data_minislots=4, seed=5)
+        long = FAMA(num_terminals=10, arrival_probability=1.0,
+                    persistence=0.1, data_minislots=40, seed=5)
+        assert long.run(30000).throughput() \
+            > short.run(30000).throughput()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FAMA(0, 0.1)
+        with pytest.raises(ValueError):
+            FAMA(5, 0.1, persistence=0.0)
+        with pytest.raises(ValueError):
+            FAMA(5, 0.1, data_minislots=0)
+
+
+class TestRQMA:
+    def make(self, **kwargs):
+        defaults = dict(num_rt_sessions=6, num_best_effort=6,
+                        rt_period_frames=2, rt_deadline_frames=2,
+                        be_arrival_probability=0.2, seed=7)
+        defaults.update(kwargs)
+        return RQMA(**defaults)
+
+    def test_sessions_establish_and_deliver(self):
+        protocol = self.make()
+        stats = protocol.run(400)
+        assert all(session.established for session in protocol.sessions)
+        assert stats.rt_packets_delivered > 300
+        assert stats.data_packets_delivered > 0
+
+    def test_clean_channel_no_deadline_misses(self):
+        """With capacity for the RT load and no channel errors, EDF
+        meets every deadline."""
+        stats = self.make(slot_error_probability=0.0).run(400)
+        assert stats.rt_miss_rate() < 0.02  # setup transient only
+
+    def test_edf_prioritizes_rt_over_best_effort(self):
+        """Saturating best-effort traffic must not hurt RT deadlines."""
+        stats = self.make(be_arrival_probability=0.9,
+                          slot_error_probability=0.0).run(400)
+        assert stats.rt_miss_rate() < 0.02
+
+    def test_retransmission_session_cuts_misses(self):
+        """RQMA's headline feature (the paper's survey calls it 'the
+        most desirable feature'): pre-established retransmission
+        sessions recover errored time-critical packets."""
+        without = self.make(slot_error_probability=0.15,
+                            rt_retransmission=False).run(600)
+        with_rtx = self.make(slot_error_probability=0.15,
+                             rt_retransmission=True).run(600)
+        assert with_rtx.rt_retransmissions > 0
+        assert with_rtx.rt_miss_rate() < 0.5 * without.rt_miss_rate()
+
+    def test_deadline_misses_under_overload(self):
+        """More RT load than transmission slots: EDF must shed."""
+        protocol = self.make(num_rt_sessions=30, rt_period_frames=1,
+                             transmission_slots=8)
+        for session in protocol.sessions:
+            session.established = True  # skip the setup bottleneck
+        stats = protocol.run(300)
+        assert stats.rt_deadline_misses > 0
+        # ... but the slots that exist are fully used.
+        assert stats.rt_packets_delivered > 0.9 * 8 * 300
+
+    def test_counters_consistent(self):
+        stats = self.make(slot_error_probability=0.1).run(300)
+        assert stats.slots_carrying_payload <= stats.slots_total
+        assert stats.rt_packets_delivered >= 0

@@ -1,0 +1,88 @@
+"""Tests for the half-duplex radio audit (Section 2.2)."""
+
+import pytest
+
+from repro.core.radio import RX, TX, HalfDuplexRadio
+
+
+class TestOverlap:
+    def test_tx_rx_overlap_violates(self):
+        radio = HalfDuplexRadio()
+        radio.claim(TX, 0.0, 1.0)
+        radio.claim(RX, 0.5, 1.5)
+        assert len(radio.violations) == 1
+        assert "overlap" in radio.violations[0].reason
+
+    def test_tx_tx_overlap_violates(self):
+        """One transmitter: two simultaneous transmissions are impossible."""
+        radio = HalfDuplexRadio()
+        radio.claim(TX, 0.0, 1.0)
+        radio.claim(TX, 0.5, 1.5)
+        assert len(radio.violations) == 1
+
+    def test_rx_rx_overlap_allowed(self):
+        radio = HalfDuplexRadio()
+        radio.claim(RX, 0.0, 1.0)
+        radio.claim(RX, 0.5, 1.5)
+        assert radio.violations == []
+
+
+class TestTurnaround:
+    def test_tx_to_rx_needs_20ms(self):
+        radio = HalfDuplexRadio()
+        radio.claim(TX, 0.0, 1.0)
+        radio.claim(RX, 1.010, 2.0)  # only 10 ms gap
+        assert len(radio.violations) == 1
+        assert "turnaround" in radio.violations[0].reason
+
+    def test_rx_to_tx_needs_20ms(self):
+        radio = HalfDuplexRadio()
+        radio.claim(RX, 0.0, 1.0)
+        radio.claim(TX, 1.005, 2.0)
+        assert len(radio.violations) == 1
+
+    def test_exactly_20ms_is_legal(self):
+        radio = HalfDuplexRadio()
+        radio.claim(TX, 0.0, 1.0)
+        radio.claim(RX, 1.020, 2.0)
+        assert radio.violations == []
+
+    def test_same_kind_needs_no_turnaround(self):
+        radio = HalfDuplexRadio()
+        radio.claim(TX, 0.0, 1.0)
+        radio.claim(TX, 1.001, 2.0)
+        assert radio.violations == []
+
+    def test_out_of_order_claims_still_audited(self):
+        radio = HalfDuplexRadio()
+        radio.claim(RX, 5.0, 6.0)
+        radio.claim(TX, 5.5, 5.8)  # claimed later, overlaps earlier claim
+        assert len(radio.violations) == 1
+
+
+class TestHousekeeping:
+    def test_prune_bounds_memory(self):
+        radio = HalfDuplexRadio()
+        for index in range(100):
+            radio.claim(TX, float(index), index + 0.5)
+        radio.prune(before=90.0)
+        assert radio.claim_count < 15
+
+    def test_empty_interval_rejected(self):
+        radio = HalfDuplexRadio()
+        with pytest.raises(ValueError):
+            radio.claim(TX, 1.0, 1.0)
+
+    def test_unknown_kind_rejected(self):
+        radio = HalfDuplexRadio()
+        with pytest.raises(ValueError):
+            radio.claim("duplex", 0.0, 1.0)
+
+    def test_violation_records_claims(self):
+        radio = HalfDuplexRadio(owner="sub-1")
+        first = radio.claim(TX, 0.0, 1.0, label="data@3")
+        second = radio.claim(RX, 0.5, 1.5, label="cf1")
+        violation = radio.violations[0]
+        assert violation.first == first
+        assert violation.second == second
+        assert radio.owner == "sub-1"

@@ -1,0 +1,65 @@
+"""Tests for the base station's registration-handling module."""
+
+import pytest
+
+from repro.core.packets import SERVICE_DATA, SERVICE_GPS
+from repro.core.registration import RegistrationModule
+
+
+class TestApproval:
+    def test_assigns_unique_uids(self):
+        module = RegistrationModule()
+        uids = {module.approve(ein, SERVICE_DATA, 0.0).uid
+                for ein in range(20)}
+        assert len(uids) == 20
+
+    def test_duplicate_ein_returns_existing(self):
+        module = RegistrationModule()
+        first = module.approve(0xAAAA, SERVICE_DATA, 1.0)
+        second = module.approve(0xAAAA, SERVICE_DATA, 2.0)
+        assert first is second
+        assert module.active_data == 1
+
+    def test_gps_capacity_eight(self):
+        module = RegistrationModule()
+        for ein in range(8):
+            assert module.approve(ein, SERVICE_GPS, 0.0) is not None
+        assert module.approve(99, SERVICE_GPS, 0.0) is None
+        assert module.rejected == 1
+        # data admission is unaffected
+        assert module.approve(100, SERVICE_DATA, 0.0) is not None
+
+    def test_uid_space_cap(self):
+        module = RegistrationModule(max_data_users=100)
+        approved = sum(
+            1 for ein in range(80)
+            if module.approve(ein, SERVICE_DATA, 0.0) is not None)
+        assert approved == 63  # 6-bit uid space minus the sentinel
+
+    def test_unknown_service_rejected(self):
+        module = RegistrationModule()
+        with pytest.raises(ValueError):
+            module.approve(1, 7, 0.0)
+
+
+class TestRelease:
+    def test_release_frees_uid(self):
+        module = RegistrationModule()
+        record = module.approve(1, SERVICE_DATA, 0.0)
+        module.release(record.uid)
+        assert module.lookup_ein(1) is None
+        assert module.lookup_uid(record.uid) is None
+        replacement = module.approve(2, SERVICE_DATA, 0.0)
+        assert replacement.uid == record.uid  # uid reused
+
+    def test_release_unknown_uid(self):
+        module = RegistrationModule()
+        assert module.release(5) is None
+
+    def test_lookup(self):
+        module = RegistrationModule()
+        record = module.approve(0x1234, SERVICE_GPS, 3.5)
+        assert module.lookup_ein(0x1234) is record
+        assert module.lookup_uid(record.uid) is record
+        assert record.registered_at == 3.5
+        assert record.service == SERVICE_GPS

@@ -1,0 +1,176 @@
+"""Unit and property tests for the Reed--Solomon codec.
+
+The paper's error-control behaviour rests on RS(64,48): up to 8 symbol
+errors per codeword are corrected; beyond that the decoder refuses to
+output (rather than silently delivering a corrupted packet).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.rs import RS_64_48, ReedSolomon, RSDecodeFailure, codeword_bits
+
+messages = st.lists(st.integers(0, 255), min_size=48, max_size=48)
+
+
+def corrupt(codeword, positions, rng):
+    out = bytearray(codeword)
+    for position in positions:
+        old = out[position]
+        while out[position] == old:
+            out[position] = rng.randrange(256)
+    return bytes(out)
+
+
+class TestParameters:
+    def test_rs_64_48_parameters(self):
+        assert RS_64_48.n == 64
+        assert RS_64_48.k == 48
+        assert RS_64_48.nsym == 16
+        assert RS_64_48.t == 8
+
+    def test_codeword_bits_matches_table1(self):
+        info_bits, coded_bits = codeword_bits()
+        assert info_bits == 384  # Table 1: information bits per codeword
+        assert coded_bits == 512  # Table 1: bits per codeword
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(64, 64)
+        with pytest.raises(ValueError):
+            ReedSolomon(300, 100)
+        with pytest.raises(ValueError):
+            ReedSolomon(10, 0)
+
+    def test_generator_polynomial_degree(self):
+        assert len(RS_64_48.generator_poly) == 17  # degree 16
+
+
+class TestEncoding:
+    def test_systematic(self):
+        message = bytes(range(48))
+        codeword = RS_64_48.encode(message)
+        assert len(codeword) == 64
+        assert codeword[:48] == message
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            RS_64_48.encode(bytes(47))
+        with pytest.raises(ValueError):
+            RS_64_48.encode(bytes(49))
+
+    def test_symbol_range_checked(self):
+        with pytest.raises(ValueError):
+            RS_64_48.encode([300] + [0] * 47)
+
+    @given(messages)
+    def test_codeword_is_valid(self, message):
+        assert RS_64_48.check(RS_64_48.encode(message))
+
+    def test_all_zero_message(self):
+        assert RS_64_48.encode(bytes(48)) == bytes(64)
+
+
+class TestDecoding:
+    @given(messages)
+    def test_clean_roundtrip(self, message):
+        codeword = RS_64_48.encode(message)
+        assert RS_64_48.decode(codeword) == bytes(message)
+
+    @given(messages, st.integers(1, 8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_corrects_up_to_t_errors(self, message, nerrors, seed):
+        rng = random.Random(seed)
+        codeword = RS_64_48.encode(message)
+        positions = rng.sample(range(64), nerrors)
+        received = corrupt(codeword, positions, rng)
+        assert RS_64_48.decode(received) == bytes(message)
+
+    @given(messages, st.integers(1, 16), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_corrects_up_to_2t_erasures(self, message, nerasures, seed):
+        rng = random.Random(seed)
+        codeword = RS_64_48.encode(message)
+        positions = rng.sample(range(64), nerasures)
+        received = corrupt(codeword, positions, rng)
+        assert RS_64_48.decode(received, erasures=positions) \
+            == bytes(message)
+
+    @given(messages, st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_mixed_errors_and_erasures(self, message, seed):
+        """2e + f <= 16 is always decodable."""
+        rng = random.Random(seed)
+        codeword = RS_64_48.encode(message)
+        nerasures = rng.randrange(0, 17)
+        nerrors = rng.randrange(0, (16 - nerasures) // 2 + 1)
+        positions = rng.sample(range(64), nerasures + nerrors)
+        erasure_positions = positions[:nerasures]
+        received = corrupt(codeword, positions, rng)
+        decoded = RS_64_48.decode(received, erasures=erasure_positions)
+        assert decoded == bytes(message)
+
+    def test_overload_never_silently_wrong(self):
+        """>t errors: the decoder fails or (rarely) lands on another valid
+        codeword -- it must never return the original message corrupted."""
+        rng = random.Random(99)
+        detected = 0
+        for _ in range(50):
+            message = bytes(rng.randrange(256) for _ in range(48))
+            codeword = RS_64_48.encode(message)
+            received = corrupt(codeword, rng.sample(range(64), 24), rng)
+            try:
+                decoded = RS_64_48.decode(received)
+            except RSDecodeFailure:
+                detected += 1
+            else:
+                # If it decoded, the output must be a valid codeword's
+                # message (possibly a miscorrection, never garbage).
+                assert RS_64_48.check(RS_64_48.encode(decoded))
+        assert detected >= 45  # detection dominates overwhelmingly
+
+    def test_erasure_beyond_capacity_fails(self):
+        codeword = RS_64_48.encode(bytes(48))
+        with pytest.raises(RSDecodeFailure):
+            RS_64_48.decode(list(codeword), erasures=list(range(17)))
+
+    def test_wrong_length_fails(self):
+        with pytest.raises(RSDecodeFailure):
+            RS_64_48.decode(bytes(63))
+
+    def test_erasure_position_out_of_range(self):
+        codeword = RS_64_48.encode(bytes(48))
+        with pytest.raises(ValueError):
+            RS_64_48.decode(codeword, erasures=[64])
+
+    def test_check_detects_corruption(self):
+        rng = random.Random(5)
+        codeword = RS_64_48.encode(bytes(range(48)))
+        assert RS_64_48.check(codeword)
+        assert not RS_64_48.check(corrupt(codeword, [0], rng))
+        assert not RS_64_48.check(bytes(10))
+
+
+class TestOtherParameterizations:
+    """The codec is generic; the MAC also relies on this for robustness."""
+
+    @pytest.mark.parametrize("n,k", [(255, 223), (15, 11), (32, 16)])
+    def test_roundtrip_with_errors(self, n, k):
+        rng = random.Random(n * k)
+        codec = ReedSolomon(n, k)
+        for _ in range(10):
+            message = bytes(rng.randrange(256) for _ in range(k))
+            codeword = codec.encode(message)
+            positions = rng.sample(range(n), codec.t)
+            received = corrupt(codeword, positions, rng)
+            assert codec.decode(received) == message
+
+    def test_fcr_one_variant(self):
+        rng = random.Random(17)
+        codec = ReedSolomon(64, 48, fcr=1)
+        message = bytes(rng.randrange(256) for _ in range(48))
+        codeword = codec.encode(message)
+        received = corrupt(codeword, rng.sample(range(64), 8), rng)
+        assert codec.decode(received) == message

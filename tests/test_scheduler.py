@@ -1,0 +1,217 @@
+"""Tests for the round-robin, forward, and contention schedulers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduler import (
+    ContentionController,
+    ForwardScheduler,
+    Interval,
+    RoundRobinScheduler,
+)
+from repro.phy import timing
+
+
+class TestRoundRobin:
+    def test_equal_demand_split_evenly(self):
+        scheduler = RoundRobinScheduler()
+        grants = scheduler.allocate({1: 4, 2: 4}, 8)
+        assert grants == {1: 4, 2: 4}
+
+    def test_allocation_capped_by_demand(self):
+        scheduler = RoundRobinScheduler()
+        grants = scheduler.allocate({1: 2, 2: 1}, 8)
+        assert grants == {1: 2, 2: 1}
+
+    def test_allocation_capped_by_slots(self):
+        scheduler = RoundRobinScheduler()
+        grants = scheduler.allocate({1: 10, 2: 10}, 5)
+        assert sum(grants.values()) == 5
+        assert abs(grants[1] - grants[2]) <= 1
+
+    def test_rotation_persists_across_cycles(self):
+        """The pointer rotates: nobody is systematically favoured."""
+        scheduler = RoundRobinScheduler()
+        totals = {1: 0, 2: 0, 3: 0}
+        for _ in range(30):
+            grants = scheduler.allocate({1: 5, 2: 5, 3: 5}, 4)
+            for uid, count in grants.items():
+                totals[uid] += count
+        # 30 cycles * 4 slots = 120 grants over 3 users -> 40 each
+        assert totals == {1: 40, 2: 40, 3: 40}
+
+    def test_zero_demand_users_skipped(self):
+        scheduler = RoundRobinScheduler()
+        grants = scheduler.allocate({1: 0, 2: 3}, 8)
+        assert grants == {2: 3}
+
+    def test_empty_demand(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.allocate({}, 8) == {}
+        assert scheduler.allocate({1: 5}, 0) == {}
+
+    def test_user_removal_does_not_break_rotation(self):
+        scheduler = RoundRobinScheduler()
+        scheduler.allocate({1: 1, 2: 1, 3: 1}, 2)
+        grants = scheduler.allocate({2: 2}, 2)
+        assert grants == {2: 2}
+
+    @given(st.dictionaries(st.integers(0, 62), st.integers(0, 20),
+                           max_size=10),
+           st.integers(0, 9))
+    @settings(max_examples=80)
+    def test_never_overgrants(self, demands, slots):
+        scheduler = RoundRobinScheduler()
+        grants = scheduler.allocate(demands, slots)
+        assert sum(grants.values()) <= slots
+        for uid, count in grants.items():
+            assert count <= demands[uid]
+        # work-conserving: all slots used unless demand ran out
+        total_demand = sum(demands.values())
+        assert sum(grants.values()) == min(slots, total_demand)
+
+    @given(st.dictionaries(st.integers(0, 62),
+                           st.integers(1, 20), min_size=2, max_size=8))
+    @settings(max_examples=50)
+    def test_max_fairness_of_grants(self, demands):
+        """With ample demand, per-user grants differ by at most one."""
+        scheduler = RoundRobinScheduler()
+        slots = 8
+        grants = scheduler.allocate({uid: 100 for uid in demands}, slots)
+        counts = list(grants.values())
+        assert max(counts) - min(counts) <= 1
+
+
+class TestSlotLumping:
+    def test_slots_contiguous_per_user(self):
+        scheduler = RoundRobinScheduler()
+        grants = {1: 3, 2: 2, 3: 1}
+        assignment = scheduler.layout_slots(grants, 9, [0])
+        # Each user's slots must be contiguous (Section 3.5): the
+        # subscriber switches TX/RX at most once per cycle.
+        for uid in grants:
+            slots = [i for i, u in enumerate(assignment) if u == uid]
+            assert slots == list(range(slots[0], slots[0] + len(slots)))
+
+    def test_contention_slots_left_unassigned(self):
+        scheduler = RoundRobinScheduler()
+        assignment = scheduler.layout_slots({1: 2}, 9, [0, 1])
+        assert assignment[0] is None
+        assert assignment[1] is None
+        assert assignment[2] == 1
+        assert assignment[3] == 1
+
+    def test_overflow_rejected(self):
+        scheduler = RoundRobinScheduler()
+        with pytest.raises(ValueError):
+            scheduler.layout_slots({1: 9}, 9, [0])
+
+
+class TestForwardScheduler:
+    def _reverse_tx(self, uid, start, end):
+        return {uid: [Interval(start, end)]}
+
+    def test_simple_round_robin(self):
+        scheduler = ForwardScheduler()
+        assignment = scheduler.allocate({1: 2, 2: 2}, {}, None, 0.0)
+        assigned = [uid for uid in assignment if uid is not None]
+        assert sorted(assigned) == [1, 1, 2, 2]
+
+    def test_cf2_listener_never_gets_slot0(self):
+        scheduler = ForwardScheduler()
+        assignment = scheduler.allocate({5: 40}, {}, 5, 0.0)
+        assert assignment[0] is None
+        assert assignment[1] == 5
+
+    def test_half_duplex_margin_respected(self):
+        """No forward slot within 20 ms of the user's reverse TX."""
+        scheduler = ForwardScheduler()
+        # Reverse TX covering forward slots 2-4's time range.
+        slot2 = timing.forward_slot_offset(2)
+        slot4_end = timing.forward_slot_offset(4) + timing.FORWARD_SLOT_TIME
+        reverse_tx = self._reverse_tx(1, slot2, slot4_end)
+        assignment = scheduler.allocate({1: 37}, reverse_tx, None, 0.0)
+        margin = timing.MS_TURNAROUND_TIME
+        for index, uid in enumerate(assignment):
+            if uid != 1:
+                continue
+            start = timing.forward_slot_offset(index)
+            end = start + timing.FORWARD_SLOT_TIME
+            assert end + margin <= slot2 + 1e-9 \
+                or start - margin >= slot4_end - 1e-9
+
+    def test_conflicting_user_skipped_not_starved(self):
+        scheduler = ForwardScheduler()
+        slot0 = timing.forward_slot_offset(0)
+        reverse_tx = self._reverse_tx(
+            1, slot0 - 0.01, slot0 + timing.FORWARD_SLOT_TIME + 0.01)
+        assignment = scheduler.allocate({1: 1, 2: 1}, reverse_tx,
+                                        None, 0.0)
+        # User 2 takes slot 0; user 1 is placed in a later slot.
+        assert assignment[0] == 2
+        assert 1 in assignment
+
+    def test_no_demand_returns_idle_schedule(self):
+        scheduler = ForwardScheduler()
+        assignment = scheduler.allocate({}, {}, None, 0.0)
+        assert assignment == [None] * timing.NUM_FORWARD_DATA_SLOTS
+
+    def test_absolute_times_used(self):
+        """Constraints are evaluated at absolute times (cycle_start)."""
+        scheduler = ForwardScheduler()
+        cycle_start = 100 * timing.CYCLE_LENGTH
+        slot1 = cycle_start + timing.forward_slot_offset(1)
+        reverse_tx = self._reverse_tx(
+            1, slot1, slot1 + timing.FORWARD_SLOT_TIME)
+        assignment = scheduler.allocate({1: 37}, reverse_tx, None,
+                                        cycle_start)
+        assert assignment[1] is None or assignment[1] != 1
+
+
+class TestInterval:
+    def test_overlaps(self):
+        assert Interval(0, 2).overlaps(Interval(1, 3))
+        assert not Interval(0, 1).overlaps(Interval(1, 2))
+
+    def test_expanded(self):
+        expanded = Interval(1.0, 2.0).expanded(0.5)
+        assert expanded.start == 0.5
+        assert expanded.end == 2.5
+
+
+class TestContentionController:
+    def test_grows_on_heavy_collisions(self):
+        controller = ContentionController(min_slots=1, max_slots=3)
+        assert controller.update(collided_slots=2, unused_slots=0) == 2
+
+    def test_grows_on_consecutive_collision_cycles(self):
+        controller = ContentionController(min_slots=1, max_slots=3)
+        assert controller.update(1, 0) == 1
+        assert controller.update(1, 0) == 2
+
+    def test_capped_at_max(self):
+        controller = ContentionController(min_slots=1, max_slots=2)
+        for _ in range(5):
+            controller.update(3, 0)
+        assert controller.current == 2
+
+    def test_shrinks_on_unused(self):
+        controller = ContentionController(min_slots=1, max_slots=3)
+        controller.update(2, 0)
+        controller.update(2, 0)
+        assert controller.current == 3
+        assert controller.update(0, 2) == 2
+        assert controller.update(0, 2) == 1
+        assert controller.update(0, 2) == 1  # floor at min
+
+    def test_collision_streak_reset_by_quiet_cycle(self):
+        controller = ContentionController(min_slots=1, max_slots=3)
+        controller.update(1, 0)
+        controller.update(0, 0)
+        assert controller.update(1, 0) == 1  # streak restarted
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            ContentionController(min_slots=0, max_slots=3)
+        with pytest.raises(ValueError):
+            ContentionController(min_slots=3, max_slots=2)

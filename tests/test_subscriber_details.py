@@ -1,0 +1,170 @@
+"""Focused tests of subscriber behaviour: queues, backoff, CF rules."""
+
+import pytest
+
+from repro.core.cell import build_cell, run_cell_detailed
+from repro.core.config import CellConfig
+from repro.core.subscriber import ACTIVE, DATA_ON_AIR, GPS_ON_AIR
+from repro.phy import timing
+from repro.traffic.messages import Message
+
+
+def build(**overrides):
+    defaults = dict(num_data_users=4, num_gps_users=2, load_index=0.5,
+                    cycles=60, warmup_cycles=10, seed=23)
+    defaults.update(overrides)
+    return build_cell(CellConfig(**defaults))
+
+
+class TestOnAirDurations:
+    def test_data_on_air_fits_in_slot_with_guard(self):
+        assert DATA_ON_AIR + timing.GUARD_TIME \
+            == pytest.approx(timing.DATA_SLOT_TIME)
+
+    def test_gps_on_air_fits_in_slot_with_guard(self):
+        assert GPS_ON_AIR + timing.GUARD_TIME \
+            == pytest.approx(timing.GPS_SLOT_TIME)
+
+    def test_adjacent_slots_never_overlap_on_air(self):
+        """The guard time separates consecutive transmissions even when
+        one subscriber holds adjacent (lumped) slots."""
+        assert DATA_ON_AIR < timing.DATA_SLOT_TIME
+
+
+class TestBufferManagement:
+    def test_buffer_overflow_drops_whole_message(self):
+        run = build(buffer_packets=5)
+        subscriber = run.data_users[0]
+        run.sim.run(until=3 * timing.CYCLE_LENGTH)  # let it register
+        assert subscriber.state == ACTIVE
+        # 5-packet buffer: a 3-fragment message fits, twice does not.
+        subscriber.submit_message(Message(message_id=1, size_bytes=120,
+                                          created_at=run.sim.now))
+        assert len(subscriber.queue) == 3
+        subscriber.submit_message(Message(message_id=2, size_bytes=120,
+                                          created_at=run.sim.now))
+        assert len(subscriber.queue) == 3  # dropped in full
+
+    def test_fragment_sizes_cover_message_exactly(self):
+        run = build()
+        subscriber = run.data_users[0]
+        run.sim.run(until=3 * timing.CYCLE_LENGTH)
+        subscriber.submit_message(Message(message_id=3, size_bytes=100,
+                                          created_at=run.sim.now))
+        fragments = list(subscriber.queue)
+        assert [f.payload_len for f in fragments] == [44, 44, 12]
+        assert [f.more for f in fragments] == [True, True, False]
+        assert len({f.seq for f in fragments}) == 3
+
+    def test_single_byte_message(self):
+        run = build()
+        subscriber = run.data_users[0]
+        run.sim.run(until=3 * timing.CYCLE_LENGTH)
+        subscriber.submit_message(Message(message_id=4, size_bytes=1,
+                                          created_at=run.sim.now))
+        assert len(subscriber.queue) == 1
+        assert subscriber.queue[0].payload_len == 1
+        assert subscriber.queue[0].more is False
+
+
+class TestCf2ListeningRule:
+    def test_last_slot_user_listens_to_cf2(self):
+        """Track every cycle: whoever was assigned the last reverse data
+        slot must mark itself as a CF2 listener for the next cycle."""
+        run = build(load_index=1.1, cycles=50)
+        mismatches = []
+        original = run.base_station._build_cycle
+
+        def check(t0):
+            record = original(t0)
+            previous = run.base_station.record_for(record.cycle - 1)
+            if previous is None:
+                return record
+            last_user = previous.last_slot_user
+            for subscriber in run.data_users:
+                if subscriber.uid is None:
+                    continue
+                expected = (subscriber.uid == last_user)
+                actual = (subscriber._cf2_cycle == record.cycle)
+                if expected != actual:
+                    mismatches.append((record.cycle, subscriber.uid))
+            return record
+
+        run.base_station._build_cycle = check
+        run.sim.run(until=run.config.duration)
+        # Allow mismatches only before registration completes.
+        late = [item for item in mismatches
+                if item[0] > 10]
+        assert late == []
+
+    def test_cf2_listener_still_gets_acks(self):
+        """Packets sent in the last slot are acknowledged via CF2 and
+        never spuriously retransmitted (perfect channel)."""
+        run = run_cell_detailed(CellConfig(
+            num_data_users=4, num_gps_users=2, load_index=1.1,
+            cycles=80, warmup_cycles=15, seed=23))
+        stats = run.stats
+        # Every sent packet (outside contention collisions) is delivered.
+        retransmissions = stats.data_packets_sent \
+            - stats.data_packets_delivered
+        assert retransmissions <= stats.contention_attempts_collided + 2
+
+
+class TestBackoff:
+    def test_backoff_caps_respected(self):
+        run = build()
+        subscriber = run.data_users[0]
+        run.sim.run(until=3 * timing.CYCLE_LENGTH)
+        pending = {"kind": "reservation", "attempts": 10,
+                   "await_cycle": 1}
+        subscriber._register_request_failure(pending)
+        assert 1 <= subscriber._backoff_cycles \
+            <= run.config.reservation_backoff_cap
+        pending = {"kind": "data", "attempts": 10, "await_cycle": 1}
+        subscriber._register_request_failure(pending)
+        assert 1 <= subscriber._backoff_cycles \
+            <= run.config.data_backoff_cap
+
+    def test_data_backoff_longer_than_reservation(self):
+        """Paper: data-in-contention senders back off longer."""
+        run = build()
+        subscriber = run.data_users[0]
+        run.sim.run(until=3 * timing.CYCLE_LENGTH)
+        samples = {"reservation": [], "data": []}
+        for kind in samples:
+            for _ in range(300):
+                subscriber._register_request_failure(
+                    {"kind": kind, "attempts": 6, "await_cycle": 1})
+                samples[kind].append(subscriber._backoff_cycles)
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(samples["data"]) > 1.5 * mean(samples["reservation"])
+
+    def test_episode_continues_across_retries(self):
+        """first_cycle/first_time survive a failed attempt, so the
+        reservation latency episode is measured from the first try."""
+        run = build()
+        subscriber = run.data_users[0]
+        run.sim.run(until=3 * timing.CYCLE_LENGTH)
+        pending = {"kind": "reservation", "attempts": 1,
+                   "await_cycle": 4, "first_cycle": 4,
+                   "first_time": 16.0, "slot": 0}
+        subscriber._pending_request = pending
+        subscriber._register_request_failure(pending)
+        assert subscriber._pending_request["first_cycle"] == 4
+        assert subscriber._pending_request["await_cycle"] is None
+
+
+class TestGpsUnitDetails:
+    def test_reports_superseded_not_queued(self):
+        """Only the freshest location matters; stale fixes are replaced."""
+        run = build(gps_report_period=1.0)  # ~4 reports per cycle
+        run.sim.run(until=run.config.duration)
+        unit = run.gps_units[0]
+        assert unit.reports_superseded > 0
+        # Supersession never endangers the deadline.
+        assert run.stats.gps_deadline_misses == 0
+
+    def test_gps_units_have_no_data_queue_activity(self):
+        run = run_cell_detailed(build().config)
+        for unit in run.gps_units:
+            assert not hasattr(unit, "queue") or not unit.queue

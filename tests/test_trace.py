@@ -1,0 +1,82 @@
+"""Tests for the tracing instrumentation."""
+
+import json
+
+from repro.core.cell import build_cell
+from repro.core.config import CellConfig
+from repro.trace import CellTracer
+
+
+def traced_run(**overrides):
+    defaults = dict(num_data_users=4, num_gps_users=2, load_index=0.5,
+                    cycles=40, warmup_cycles=10, seed=13)
+    defaults.update(overrides)
+    config = CellConfig(**defaults)
+    run = build_cell(config)
+    tracer = CellTracer(run)
+    run.sim.run(until=config.duration)
+    return run, tracer
+
+
+class TestCellTracer:
+    def test_records_all_on_air_categories(self):
+        _run, tracer = traced_run()
+        summary = tracer.summary()
+        assert summary.get("downlink/cf1", 0) == 40  # one per cycle
+        assert summary.get("downlink/cf2", 0) == 40
+        assert summary.get("uplink/data", 0) > 20
+        assert summary.get("uplink/gps", 0) > 50
+        assert summary.get("control/registration", 0) == 6
+
+    def test_collisions_visible_in_trace(self):
+        # A registration storm guarantees contention collisions.
+        _run, tracer = traced_run(num_data_users=10, num_gps_users=6)
+        assert tracer.count(category="uplink", event="collision") > 0
+
+    def test_query_filters(self):
+        run, tracer = traced_run()
+        sender = run.gps_units[0].name
+        gps_events = list(tracer.query(category="uplink", event="gps",
+                                       actor=sender))
+        assert gps_events
+        assert all(event.actor == sender for event in gps_events)
+        assert all(event.detail["slot_kind"] == "gps"
+                   for event in gps_events)
+
+    def test_since_filter(self):
+        run, tracer = traced_run()
+        midpoint = run.config.duration / 2
+        late = list(tracer.query(since=midpoint))
+        assert late
+        assert all(event.time >= midpoint for event in late)
+
+    def test_jsonl_export(self, tmp_path):
+        _run, tracer = traced_run()
+        path = tmp_path / "trace.jsonl"
+        count = tracer.write_jsonl(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == count == len(tracer.events)
+        parsed = json.loads(lines[0])
+        assert {"time", "category", "event", "actor"} <= set(parsed)
+
+    def test_event_cap_drops_instead_of_growing(self):
+        config = CellConfig(num_data_users=4, num_gps_users=2,
+                            load_index=0.5, cycles=40,
+                            warmup_cycles=10, seed=13)
+        run = build_cell(config)
+        tracer = CellTracer(run, max_events=50)
+        run.sim.run(until=config.duration)
+        assert len(tracer.events) == 50
+        assert tracer.dropped > 0
+
+    def test_tracing_does_not_perturb_results(self):
+        """Instrumentation must be observationally transparent."""
+        config = dict(num_data_users=4, num_gps_users=2, load_index=0.5,
+                      cycles=40, warmup_cycles=10, seed=13)
+        plain = build_cell(CellConfig(**config))
+        plain.sim.run(until=plain.config.duration)
+        traced, _tracer = traced_run(**config)
+        assert plain.stats.data_packets_delivered \
+            == traced.stats.data_packets_delivered
+        assert plain.stats.gps_packets_delivered \
+            == traced.stats.gps_packets_delivered
