@@ -5,6 +5,10 @@ seed), reports its wall-clock via pytest-benchmark, prints the
 regenerated table, and asserts the qualitative *shape* the paper reports
 (who wins, monotonicity, where the knee falls) -- absolute numbers are
 simulator-dependent and are recorded in EXPERIMENTS.md instead.
+
+Benchmarks bypass the engine's on-disk result cache (``cache=False``):
+a cache hit would measure a JSON read instead of the simulation the
+benchmark exists to time.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from __future__ import annotations
 def run_and_report(benchmark, runner, **kwargs):
     """Benchmark one experiment runner and print its table."""
     kwargs.setdefault("quick", True)
+    kwargs.setdefault("cache", False)
     result = benchmark.pedantic(lambda: runner(**kwargs),
                                 rounds=1, iterations=1)
     print()

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro run --load 0.8 --data-users 9 --gps-users 3
     python -m repro network --cells 3 --load 0.4 --handoffs 2
-    python -m repro experiments fig8a fig12b --quick
+    python -m repro experiments fig8a fig12b --quick --jobs 4
+    python -m repro sweep --loads 0.3,0.8,1.1 --seeds 1,2,3 --jobs 4
 """
 
 from __future__ import annotations
@@ -131,7 +132,44 @@ def _command_experiments(args: argparse.Namespace) -> int:
         forwarded.append("--quick")
     if args.list:
         forwarded.append("--list")
+    if args.jobs is not None:
+        forwarded.extend(["--jobs", str(args.jobs)])
+    if args.no_cache:
+        forwarded.append("--no-cache")
     return experiments_main(forwarded)
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    """An ad-hoc engine load sweep straight from the command line."""
+    from repro.engine import telemetry
+    from repro.experiments.runner import PAPER_LOADS, sweep_loads
+
+    try:
+        loads = (tuple(float(item) for item in args.loads.split(","))
+                 if args.loads else PAPER_LOADS)
+        seeds = tuple(int(item) for item in args.seeds.split(","))
+    except ValueError:
+        print("sweep: --loads/--seeds must be comma-separated numbers, "
+              f"got --loads {args.loads!r} --seeds {args.seeds!r}",
+              file=sys.stderr)
+        return 2
+    telemetry.reset()
+    points = sweep_loads(
+        loads=loads, seeds=seeds,
+        num_data_users=args.data_users, num_gps_users=args.gps_users,
+        cycles=args.cycles, warmup_cycles=args.warmup,
+        jobs=args.jobs, cache=False if args.no_cache else None)
+    if args.json:
+        print(json.dumps(points, indent=2))
+    else:
+        for point in points:
+            print(f"rho={point['load']:<5g} "
+                  f"util={point['utilization']:.3f} "
+                  f"delay={point['mean_message_delay_cycles']:.2f}cy "
+                  f"loss={point['message_loss_rate']:.3f} "
+                  f"fairness={point['fairness']:.3f}")
+    print(telemetry.format(), file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -165,7 +203,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     experiments_parser.add_argument("names", nargs="*")
     experiments_parser.add_argument("--quick", action="store_true")
     experiments_parser.add_argument("--list", action="store_true")
+    experiments_parser.add_argument("--jobs", type=int, default=None)
+    experiments_parser.add_argument("--no-cache", action="store_true")
     experiments_parser.set_defaults(handler=_command_experiments)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a load sweep on the engine and print points")
+    sweep_parser.add_argument("--loads", default="",
+                              help="comma-separated load indices "
+                                   "(default: the paper's sweep)")
+    sweep_parser.add_argument("--seeds", default="1,2,3",
+                              help="comma-separated seeds")
+    sweep_parser.add_argument("--data-users", type=int, default=9)
+    sweep_parser.add_argument("--gps-users", type=int, default=2)
+    sweep_parser.add_argument("--cycles", type=int, default=200)
+    sweep_parser.add_argument("--warmup", type=int, default=30)
+    sweep_parser.add_argument("--jobs", type=int, default=None)
+    sweep_parser.add_argument("--no-cache", action="store_true")
+    sweep_parser.add_argument("--json", action="store_true")
+    sweep_parser.set_defaults(handler=_command_sweep)
 
     args = parser.parse_args(argv)
     return args.handler(args)

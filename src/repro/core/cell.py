@@ -188,12 +188,11 @@ def _submit_forward_message(base_station: BaseStation,
         remaining -= chunk
         base_station.submit_forward(subscriber.uid, ForwardPacket(
             uid=subscriber.uid,
-            seq=subscriber._forward_seq,
+            seq=subscriber.next_forward_seq(),
             payload_len=chunk,
             message_id=message.message_id,
             more=index < fragments - 1,
             created_at=message.created_at))
-        subscriber._forward_seq += 1
 
 
 def run_cell_detailed(config: CellConfig) -> CellRun:

@@ -334,6 +334,18 @@ class DataSubscriber(SubscriberBase):
 
     # -- application interface --------------------------------------------------
 
+    def next_forward_seq(self) -> int:
+        """Allocate the next downlink fragment sequence number.
+
+        The base station's cell-construction helpers call this when
+        fragmenting downlink messages into :class:`ForwardPacket`\\ s so
+        the per-subscriber sequence space stays consistent without
+        reaching into private state.
+        """
+        seq = self._forward_seq
+        self._forward_seq += 1
+        return seq
+
     def submit_message(self, message: Message) -> None:
         """Queue an e-mail for uplink transmission (fragmenting it)."""
         now = self.sim.now

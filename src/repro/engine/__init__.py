@@ -1,0 +1,62 @@
+"""Unified run engine for all experiments.
+
+Every table/figure of the evaluation is regenerated from a grid of
+*independent* simulation points (load x seed x scenario).  The engine
+makes that structure explicit and shared:
+
+* :class:`~repro.engine.spec.RunSpec` -- a declarative list of
+  :class:`~repro.engine.spec.Point` (a picklable task function plus its
+  config) with an optional reducer, so an experiment module is a spec
+  plus a table formatter instead of bespoke nested loops.
+* :mod:`~repro.engine.executors` -- pluggable serial and
+  process-pool-parallel executors (``--jobs N`` / ``REPRO_JOBS``) that
+  produce bit-identical results for the same spec.
+* :mod:`~repro.engine.cache` -- an on-disk result cache under
+  ``.repro-cache/`` keyed by a content hash of the point's config plus a
+  fingerprint of the package source, so repeated invocations skip
+  simulations that already ran.
+* :mod:`~repro.engine.telemetry` -- per-execution instrumentation
+  (points executed, cache hits, per-point wall-clock, points/sec)
+  surfaced by ``python -m repro.experiments``.
+"""
+
+from repro.engine.cache import ResultCache, default_cache_dir, resolve_cache
+from repro.engine.executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    get_executor,
+    resolve_jobs,
+)
+from repro.engine.hashing import canonical, code_fingerprint, point_key
+from repro.engine.seeding import derive_seed
+from repro.engine.spec import (
+    Point,
+    RunResult,
+    RunSpec,
+    cell_point,
+    execute,
+    group_means,
+)
+from repro.engine.telemetry import EngineStats, telemetry
+
+__all__ = [
+    "EngineStats",
+    "ParallelExecutor",
+    "Point",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
+    "SerialExecutor",
+    "canonical",
+    "cell_point",
+    "code_fingerprint",
+    "default_cache_dir",
+    "derive_seed",
+    "execute",
+    "get_executor",
+    "group_means",
+    "point_key",
+    "resolve_cache",
+    "resolve_jobs",
+    "telemetry",
+]

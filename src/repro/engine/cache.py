@@ -1,0 +1,100 @@
+"""On-disk result cache for run points.
+
+Results live under ``.repro-cache/`` (override with ``REPRO_CACHE_DIR``)
+as one JSON file per point, named by the point's content hash
+(:func:`repro.engine.hashing.point_key`).  Only JSON-serializable task
+results are cached; anything else is recomputed every run.  Set
+``REPRO_CACHE=0`` to disable caching globally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Optional, Tuple
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+def cache_enabled_by_env() -> bool:
+    return os.environ.get("REPRO_CACHE", "1").lower() not in (
+        "0", "off", "no", "false")
+
+
+class ResultCache:
+    """A directory of ``<content-hash>.json`` result files."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; corrupt or absent entries count as misses."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                value = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store ``value`` if JSON-serializable; atomic via rename."""
+        try:
+            text = json.dumps(value)
+        except (TypeError, ValueError):
+            return False
+        os.makedirs(self.root, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_path, self._path(key))
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def resolve_cache(cache: Any = None,
+                  cache_dir: Optional[str] = None
+                  ) -> Optional[ResultCache]:
+    """Interpret the ``cache`` knob every experiment entry point takes.
+
+    ``None`` -> on unless ``REPRO_CACHE=0``; ``False`` -> off; ``True``
+    -> on; a :class:`ResultCache` instance -> used as-is.
+    """
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is False:
+        return None
+    if cache is None and not cache_enabled_by_env():
+        return None
+    return ResultCache(cache_dir)

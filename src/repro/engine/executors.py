@@ -1,0 +1,78 @@
+"""Pluggable point executors: serial and process-pool parallel.
+
+Both executors evaluate the same list of ``(fn, config)`` tasks and
+return ``(value, seconds)`` pairs in task order.  Because every point
+carries its own seed and builds its own simulation, the parallel
+executor is bit-identical to the serial one -- the process pool only
+changes *where* each point runs, never what it computes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+Task = Tuple[Callable[[Any], Any], Any]
+
+
+def invoke(fn: Callable[[Any], Any], config: Any) -> Tuple[Any, float]:
+    """Run one task, timing it in the process that executes it."""
+    started = time.perf_counter()
+    value = fn(config)
+    return value, time.perf_counter() - started
+
+
+class SerialExecutor:
+    """In-process, one point at a time."""
+
+    jobs = 1
+
+    def map(self, tasks: Sequence[Task]) -> List[Tuple[Any, float]]:
+        return [invoke(fn, config) for fn, config in tasks]
+
+
+class ParallelExecutor:
+    """``ProcessPoolExecutor``-backed; results stay in submission order.
+
+    Task functions must be module-level (picklable by reference) and
+    configs must be picklable -- true for every experiment task in
+    :mod:`repro.experiments`.
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 2:
+            raise ValueError("ParallelExecutor needs jobs >= 2; "
+                             "use SerialExecutor for jobs=1")
+        self.jobs = jobs
+
+    def map(self, tasks: Sequence[Task]) -> List[Tuple[Any, float]]:
+        if not tasks:
+            return []
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(invoke, fn, config)
+                       for fn, config in tasks]
+            return [future.result() for future in futures]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """``jobs`` -> explicit value > ``REPRO_JOBS`` env > 1 (serial)."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def get_executor(jobs: Optional[int] = None):
+    """The executor for ``jobs`` (resolving env defaults)."""
+    count = resolve_jobs(jobs)
+    if count <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(count)

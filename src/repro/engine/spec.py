@@ -1,0 +1,179 @@
+"""Declarative run specs and the engine entry point.
+
+A :class:`RunSpec` is a named list of :class:`Point` -- each point is a
+module-level task function plus one picklable config -- with an optional
+reducer that folds the per-point results into the experiment's rows.
+:func:`execute` evaluates a spec on the chosen executor (serial or
+parallel), consulting the on-disk cache first, and records telemetry.
+
+Because points are self-contained (each carries its own seed inside its
+config), serial and parallel execution of the same spec produce
+bit-identical results, and a cached value is indistinguishable from a
+recomputed one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import resolve_cache
+from repro.engine.executors import get_executor
+from repro.engine.hashing import point_key
+from repro.engine.telemetry import EngineStats, telemetry
+
+
+@dataclass(frozen=True)
+class Point:
+    """One independent unit of work in a spec.
+
+    ``fn`` must be a module-level callable (picklable by reference) that
+    accepts ``config`` as its single argument and returns
+    JSON-serializable data (so the result can be cached).  ``label``
+    carries the point's grid coordinates for reducers to group by.
+    """
+
+    fn: Callable[[Any], Any]
+    config: Any
+    label: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A named grid of points plus an optional reducer.
+
+    ``reducer(values, points)`` receives the per-point results (aligned
+    with ``points``) and returns whatever the experiment's formatter
+    consumes (typically a list of table rows or grouped dicts).
+    """
+
+    name: str
+    points: Tuple[Point, ...]
+    reducer: Optional[Callable[[List[Any], Tuple[Point, ...]], Any]] = None
+
+
+@dataclass
+class RunResult:
+    """What ``execute`` returns: raw values, reduction, accounting."""
+
+    spec: RunSpec
+    values: List[Any]
+    stats: EngineStats
+    reduced: Any = None
+
+
+def execute(spec: RunSpec,
+            jobs: Optional[int] = None,
+            cache: Any = None,
+            cache_dir: Optional[str] = None) -> RunResult:
+    """Evaluate every point of ``spec`` and reduce.
+
+    ``jobs``: 1 = serial (default), N >= 2 = process pool; ``None``
+    falls back to the ``REPRO_JOBS`` environment variable.  ``cache``:
+    ``None`` = on unless ``REPRO_CACHE=0``, ``False`` = off, ``True`` or
+    a :class:`~repro.engine.cache.ResultCache` = on.
+    """
+    started = time.perf_counter()
+    executor = get_executor(jobs)
+    store = resolve_cache(cache, cache_dir)
+
+    count = len(spec.points)
+    values: List[Any] = [None] * count
+    seconds: List[float] = [0.0] * count
+    pending: List[int] = []
+    keys: List[Optional[str]] = [None] * count
+
+    if store is not None:
+        for index, point in enumerate(spec.points):
+            key = point_key(point.fn, point.config)
+            keys[index] = key
+            hit, value = store.get(key)
+            if hit:
+                values[index] = value
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(count))
+
+    if pending:
+        computed = executor.map(
+            [(spec.points[index].fn, spec.points[index].config)
+             for index in pending])
+        for index, (value, elapsed) in zip(pending, computed):
+            values[index] = value
+            seconds[index] = elapsed
+            if store is not None and keys[index] is not None:
+                store.put(keys[index], value)
+
+    stats = EngineStats(
+        spec=spec.name,
+        points=count,
+        executed=len(pending),
+        cache_hits=count - len(pending),
+        jobs=executor.jobs,
+        wall_s=time.perf_counter() - started,
+        point_seconds=seconds)
+    telemetry.record(stats)
+
+    result = RunResult(spec=spec, values=values, stats=stats)
+    if spec.reducer is not None:
+        result.reduced = spec.reducer(values, spec.points)
+    return result
+
+
+# -- common point/reducer building blocks ----------------------------------
+
+
+def run_cell_summary(config) -> Dict[str, float]:
+    """Task: simulate one cell and return its summary dict."""
+    from repro.core.cell import run_cell
+
+    return run_cell(config).summary()
+
+
+def cell_point(config, **label: Any) -> Point:
+    """A point that runs one :class:`~repro.core.config.CellConfig`."""
+    return Point(fn=run_cell_summary, config=config, label=dict(label))
+
+
+def mean_of_summaries(summaries: Sequence[Dict[str, float]]
+                      ) -> Dict[str, float]:
+    """Field-wise mean over the keys *common to all* summaries.
+
+    Keys missing from some summaries (e.g. a ``metric`` recorded for
+    only part of the seeds) are dropped rather than raising.
+    """
+    if not summaries:
+        return {}
+    common = set(summaries[0])
+    for summary in summaries[1:]:
+        common &= set(summary)
+    return {key: sum(summary[key] for summary in summaries)
+            / len(summaries)
+            for key in summaries[0] if key in common}
+
+
+def group_means(values: Sequence[Dict[str, float]],
+                points: Sequence[Point],
+                by: Sequence[str]) -> List[Dict[str, Any]]:
+    """Average summary dicts over every label *not* in ``by``.
+
+    Returns one dict per distinct ``by``-coordinate (in first-seen
+    order) containing the averaged summary fields plus the ``by`` labels
+    themselves -- the standard "average over seeds" reduction.
+    """
+    grouped: Dict[Tuple[Any, ...], List[Dict[str, float]]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for value, point in zip(values, points):
+        coordinate = tuple(point.label.get(name) for name in by)
+        if coordinate not in grouped:
+            grouped[coordinate] = []
+            order.append(coordinate)
+        grouped[coordinate].append(value)
+    rows: List[Dict[str, Any]] = []
+    for coordinate in order:
+        row = mean_of_summaries(grouped[coordinate])
+        row.update(dict(zip(by, coordinate)))
+        rows.append(row)
+    return rows

@@ -1,0 +1,85 @@
+"""Engine instrumentation: what ran, what was cached, how fast.
+
+Every :func:`repro.engine.spec.execute` call records one
+:class:`EngineStats` into the module-level :data:`telemetry` log; the
+experiment CLI resets the log around each experiment and prints the
+aggregate (points, cache hits, wall-clock, points/sec) after the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class EngineStats:
+    """One ``execute()`` call's accounting."""
+
+    spec: str
+    points: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    jobs: int = 1
+    wall_s: float = 0.0
+    #: Per-point compute seconds, measured inside the executing process
+    #: (cache hits contribute 0.0).
+    point_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def points_per_sec(self) -> float:
+        return self.points / self.wall_s if self.wall_s > 0 else 0.0
+
+    def format(self) -> str:
+        parts = [f"{self.points} points"]
+        if self.cache_hits:
+            parts.append(f"{self.executed} executed, "
+                         f"{self.cache_hits} cached")
+        if self.jobs > 1:
+            parts.append(f"jobs={self.jobs}")
+        parts.append(f"{self.wall_s:.2f}s wall")
+        parts.append(f"{self.points_per_sec:.1f} points/s")
+        return f"[engine {self.spec}: " + ", ".join(parts) + "]"
+
+
+class TelemetryLog:
+    """Append-only log of engine executions (reset per experiment)."""
+
+    def __init__(self) -> None:
+        self.records: List[EngineStats] = []
+
+    def record(self, stats: EngineStats) -> None:
+        self.records.append(stats)
+
+    def reset(self) -> None:
+        self.records = []
+
+    @property
+    def total_points(self) -> int:
+        return sum(record.points for record in self.records)
+
+    @property
+    def total_executed(self) -> int:
+        return sum(record.executed for record in self.records)
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(record.cache_hits for record in self.records)
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(record.wall_s for record in self.records)
+
+    def format(self) -> str:
+        """One line summarizing everything since the last reset."""
+        points = self.total_points
+        wall = self.total_wall_s
+        rate = points / wall if wall > 0 else 0.0
+        return (f"[engine: {points} points "
+                f"({self.total_executed} executed, "
+                f"{self.total_cache_hits} cached) "
+                f"in {wall:.2f}s — {rate:.1f} points/s]")
+
+
+#: The process-wide execution log.
+telemetry = TelemetryLog()

@@ -30,12 +30,16 @@ from repro.experiments.runner import (
     ExperimentResult,
     PAPER_LOADS,
     average_summaries,
+    sweep_cell_config,
     sweep_loads,
+    sweep_spec,
 )
 
 __all__ = [
     "ExperimentResult",
     "PAPER_LOADS",
     "average_summaries",
+    "sweep_cell_config",
     "sweep_loads",
+    "sweep_spec",
 ]

@@ -4,7 +4,14 @@ Usage::
 
     python -m repro.experiments --list
     python -m repro.experiments fig8a fig8b --quick
-    python -m repro.experiments all --quick
+    python -m repro.experiments all --quick --jobs 4
+    python -m repro.experiments fig8a --no-cache
+
+``--jobs N`` (or ``REPRO_JOBS=N``) runs the experiment's simulation grid
+on a process pool; results are bit-identical to ``--jobs 1``.  Results
+are cached under ``.repro-cache/`` (keyed by config + code version), so
+reruns of an unchanged experiment skip the simulations entirely; disable
+with ``--no-cache`` or ``REPRO_CACHE=0``.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import argparse
 import sys
 import time
 
+from repro.engine import telemetry
 from repro.experiments import (
     ablation,
     baselines,
@@ -62,6 +70,11 @@ def main(argv=None) -> int:
                         help="list available experiments")
     parser.add_argument("--quick", action="store_true",
                         help="smaller runs (benchmark-sized)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="simulation points run in parallel on N "
+                             "processes (default: REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write .repro-cache/")
     parser.add_argument("--plot", action="store_true",
                         help="also render each result as an ASCII chart")
     parser.add_argument("--save-csv", metavar="DIR",
@@ -73,6 +86,7 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
+    cache = False if args.no_cache else None
     names = list(EXPERIMENTS) if args.names == ["all"] else args.names
     for name in names:
         runner = EXPERIMENTS.get(name)
@@ -80,8 +94,9 @@ def main(argv=None) -> int:
             print(f"unknown experiment {name!r}; use --list",
                   file=sys.stderr)
             return 2
+        telemetry.reset()
         started = time.time()
-        result = runner(quick=args.quick)
+        result = runner(quick=args.quick, jobs=args.jobs, cache=cache)
         print(result.format())
         if args.plot:
             _maybe_plot(result)
@@ -91,6 +106,8 @@ def main(argv=None) -> int:
             path = os.path.join(args.save_csv, f"{name}.csv")
             result.save_csv(path)
             print(f"[wrote {path}]")
+        if telemetry.records:
+            print(telemetry.format())
         print(f"[{name} finished in {time.time() - started:.1f}s]")
         print()
     return 0

@@ -13,66 +13,48 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
-from repro.core.cell import run_cell
-from repro.core.config import CellConfig
-from repro.experiments.runner import (
-    EVAL_DEFAULTS,
-    ExperimentResult,
-    average_summaries,
-    cycles_for,
+from repro.engine import RunSpec, cell_point, execute, group_means
+from repro.experiments.runner import ExperimentResult, sweep_cell_config
+
+#: (row label, load index, config overrides) -- one grid axis per variant.
+VARIANTS = (
+    ("two CF sets (rho=1.1)", 1.1, {}),
+    ("single CF set (rho=1.1)", 1.1, {"use_second_cf": False}),
+    ("dynamic adjustment (1 GPS, rho=1.1)", 1.1, {"num_gps_users": 1}),
+    ("static format 1 (1 GPS, rho=1.1)", 1.1,
+     {"num_gps_users": 1, "dynamic_slot_adjustment": False}),
+    ("data-in-contention on (rho=0.3)", 0.3, {}),
+    ("data-in-contention off (rho=0.3)", 0.3,
+     {"data_in_contention": False}),
 )
 
 
-def _point(load: float, seeds: Sequence[int], cycles: int, warmup: int,
-           **overrides) -> dict:
-    summaries = []
-    for seed in seeds:
-        kwargs = dict(EVAL_DEFAULTS)
-        kwargs.update(overrides)
-        stats = run_cell(CellConfig(load_index=load, seed=seed,
-                                    cycles=cycles, warmup_cycles=warmup,
-                                    **kwargs))
-        summaries.append(stats.summary())
-    return average_summaries(summaries)
+def spec(quick: bool = False,
+         seeds: Sequence[int] = (1, 2, 3)) -> RunSpec:
+    points = []
+    for label, load, overrides in VARIANTS:
+        for seed in seeds:
+            config = sweep_cell_config(load, seed, quick=quick,
+                                       **overrides)
+            points.append(cell_point(config, variant=label, seed=seed))
+    return RunSpec(
+        name="ablation",
+        points=tuple(points),
+        reducer=lambda values, pts: group_means(
+            values, pts, by=("variant",)))
 
 
 def run(quick: bool = False,
-        seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
-    cycles, warmup = cycles_for(quick)
-    rows = []
-
-    # 1. second control-field set, at saturation
-    with_cf2 = _point(1.1, seeds, cycles, warmup)
-    without_cf2 = _point(1.1, seeds, cycles, warmup, use_second_cf=False)
-    rows.append(["two CF sets (rho=1.1)", with_cf2["utilization"],
-                 with_cf2["mean_message_delay_cycles"]])
-    rows.append(["single CF set (rho=1.1)", without_cf2["utilization"],
-                 without_cf2["mean_message_delay_cycles"]])
-
-    # 2. dynamic slot adjustment, 1 GPS user, at saturation
-    dynamic = _point(1.1, seeds, cycles, warmup, num_gps_users=1)
-    static = _point(1.1, seeds, cycles, warmup, num_gps_users=1,
-                    dynamic_slot_adjustment=False)
-    rows.append(["dynamic adjustment (1 GPS, rho=1.1)",
-                 dynamic["utilization"],
-                 dynamic["mean_message_delay_cycles"]])
-    rows.append(["static format 1 (1 GPS, rho=1.1)",
-                 static["utilization"],
-                 static["mean_message_delay_cycles"]])
-
-    # 3. data-in-contention, light load
-    with_dic = _point(0.3, seeds, cycles, warmup)
-    without_dic = _point(0.3, seeds, cycles, warmup,
-                         data_in_contention=False)
-    rows.append(["data-in-contention on (rho=0.3)",
-                 with_dic["utilization"],
-                 with_dic["mean_message_delay_cycles"]])
-    rows.append(["data-in-contention off (rho=0.3)",
-                 without_dic["utilization"],
-                 without_dic["mean_message_delay_cycles"]])
-
+        seeds: Sequence[int] = (1, 2, 3),
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
+    result = execute(spec(quick=quick, seeds=seeds), jobs=jobs,
+                     cache=cache)
+    rows = [[point["variant"], point["utilization"],
+             point["mean_message_delay_cycles"]]
+            for point in result.reduced]
     return ExperimentResult(
         experiment_id="X2",
         title="Design-choice ablations (extension)",

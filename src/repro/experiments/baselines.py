@@ -15,27 +15,53 @@ Slotted ALOHA is included as the classic lower bound.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Dict, Optional, Sequence
 
+from repro.engine import Point, RunSpec, execute, group_means
 from repro.experiments.runner import ExperimentResult
-from repro.protocols import DRMA, DynamicTDMA, PRMA, RAMA, SlottedAloha
+
+PROTOCOLS = ("aloha", "prma", "dtdma", "rama", "drma")
+ARRIVALS = (0.02, 0.06, 0.12, 0.25)
+
+
+def baseline_task(config: Dict[str, Any]) -> Dict[str, float]:
+    """Task: one baseline protocol run -> headline metrics."""
+    stats = _run_one(config["name"], config["arrival"],
+                     config["frames"], config["seed"])
+    return {"throughput": stats.throughput(),
+            "voice_drop_p": stats.voice_drop_probability(),
+            "data_delay_slots": stats.mean_data_delay()}
+
+
+def spec(quick: bool = False,
+         seeds: Sequence[int] = (1, 2, 3)) -> RunSpec:
+    frames = 400 if quick else 1500
+    points = []
+    for arrival in ARRIVALS:
+        for name in PROTOCOLS:
+            for seed in seeds:
+                points.append(Point(
+                    fn=baseline_task,
+                    config=dict(name=name, arrival=arrival,
+                                frames=frames, seed=seed),
+                    label=dict(arrival=arrival, protocol=name,
+                               seed=seed)))
+    return RunSpec(
+        name="baselines",
+        points=tuple(points),
+        reducer=lambda values, pts: group_means(
+            values, pts, by=("arrival", "protocol")))
 
 
 def run(quick: bool = False,
-        seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
-    frames = 400 if quick else 1500
-    rows = []
-    for arrival in (0.02, 0.06, 0.12, 0.25):
-        for name in ("aloha", "prma", "dtdma", "rama", "drma"):
-            throughput = drops = delay = 0.0
-            for seed in seeds:
-                stats = _run_one(name, arrival, frames, seed)
-                throughput += stats.throughput()
-                drops += stats.voice_drop_probability()
-                delay += stats.mean_data_delay()
-            n = len(seeds)
-            rows.append([arrival, name, throughput / n, drops / n,
-                         delay / n])
+        seeds: Sequence[int] = (1, 2, 3),
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
+    result = execute(spec(quick=quick, seeds=seeds), jobs=jobs,
+                     cache=cache)
+    rows = [[point["arrival"], point["protocol"], point["throughput"],
+             point["voice_drop_p"], point["data_delay_slots"]]
+            for point in result.reduced]
     return ExperimentResult(
         experiment_id="X1",
         title="Surveyed baselines: throughput / voice drops / data delay "
@@ -51,6 +77,8 @@ def run(quick: bool = False,
 
 
 def _run_one(name: str, arrival: float, frames: int, seed: int):
+    from repro.protocols import DRMA, DynamicTDMA, PRMA, RAMA, SlottedAloha
+
     common = dict(num_voice=20, num_data=20,
                   data_arrival_probability=arrival, seed=seed)
     if name == "aloha":

@@ -12,8 +12,9 @@ the outage model can be configured to match.
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from typing import Any, Dict, Optional, Sequence
 
+from repro.engine import Point, RunSpec, execute, group_means
 from repro.experiments.runner import ExperimentResult
 from repro.phy.errors import GilbertElliottModel, IndependentSymbolErrors
 from repro.phy.rs import RS_64_48, RSDecodeFailure
@@ -35,10 +36,14 @@ def measure_loss_rate(model, trials: int, seed: int) -> float:
     return lost / trials
 
 
-def run(quick: bool = False,
-        seeds: Sequence[int] = (1,)) -> ExperimentResult:
-    trials = 300 if quick else 2000
-    scenarios = [
+def calibration_task(config: Dict[str, Any]) -> Dict[str, float]:
+    """Task: one (channel model, seed) calibration measurement."""
+    return {"codeword_loss_rate": measure_loss_rate(
+        config["model"], config["trials"], config["seed"])}
+
+
+def scenarios():
+    return [
         ("GE default (1% bad state)", GilbertElliottModel()),
         ("GE deep fades",
          GilbertElliottModel(p_good=0.002, p_bad=0.4,
@@ -48,11 +53,33 @@ def run(quick: bool = False,
         ("iid SER=5%", IndependentSymbolErrors(0.05)),
         ("iid SER=10%", IndependentSymbolErrors(0.10)),
     ]
-    rows = []
-    for name, model in scenarios:
-        rate = sum(measure_loss_rate(model, trials, seed)
-                   for seed in seeds) / len(seeds)
-        rows.append([name, rate])
+
+
+def spec(quick: bool = False,
+         seeds: Sequence[int] = (1,)) -> RunSpec:
+    trials = 300 if quick else 2000
+    points = []
+    for name, model in scenarios():
+        for seed in seeds:
+            points.append(Point(
+                fn=calibration_task,
+                config=dict(model=model, trials=trials, seed=seed),
+                label=dict(scenario=name, seed=seed)))
+    return RunSpec(
+        name="calibration",
+        points=tuple(points),
+        reducer=lambda values, pts: group_means(
+            values, pts, by=("scenario",)))
+
+
+def run(quick: bool = False,
+        seeds: Sequence[int] = (1,),
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
+    result = execute(spec(quick=quick, seeds=seeds), jobs=jobs,
+                     cache=cache)
+    rows = [[point["scenario"], point["codeword_loss_rate"]]
+            for point in result.reduced]
     return ExperimentResult(
         experiment_id="C1",
         title="Codeword outage calibration: symbol models through the "

@@ -12,7 +12,7 @@ tests/test_scheduler.py::TestRoundRobin).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
 from repro.experiments.runner import ExperimentResult, PAPER_LOADS, \
     sweep_loads
@@ -20,10 +20,13 @@ from repro.experiments.runner import ExperimentResult, PAPER_LOADS, \
 
 def run(quick: bool = False,
         seeds: Sequence[int] = (1, 2, 3),
-        loads: Sequence[float] = PAPER_LOADS) -> ExperimentResult:
+        loads: Sequence[float] = PAPER_LOADS,
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
     cycles = (300, 40) if quick else (1200, 60)
     points = sweep_loads(loads=loads, seeds=seeds,
-                         cycles=cycles[0], warmup_cycles=cycles[1])
+                         cycles=cycles[0], warmup_cycles=cycles[1],
+                         jobs=jobs, cache=cache)
     rows = [[point["load"], point["fairness"]] for point in points]
     return ExperimentResult(
         experiment_id="F11",

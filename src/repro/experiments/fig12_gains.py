@@ -13,25 +13,24 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
-from repro.core.cell import run_cell
-from repro.core.config import CellConfig
+from repro.engine import RunSpec, cell_point, execute, group_means
 from repro.experiments.runner import (
-    EVAL_DEFAULTS,
     ExperimentResult,
     PAPER_LOADS,
-    average_summaries,
-    cycles_for,
+    sweep_cell_config,
     sweep_loads,
 )
 
 
 def run_second_cf(quick: bool = False,
                   seeds: Sequence[int] = (1, 2, 3),
-                  loads: Sequence[float] = PAPER_LOADS
-                  ) -> ExperimentResult:
-    points = sweep_loads(loads=loads, seeds=seeds, quick=quick)
+                  loads: Sequence[float] = PAPER_LOADS,
+                  jobs: Optional[int] = None,
+                  cache: Any = None) -> ExperimentResult:
+    points = sweep_loads(loads=loads, seeds=seeds, quick=quick,
+                         jobs=jobs, cache=cache)
     rows = [[point["load"], point["second_cf_gain"]] for point in points]
     return ExperimentResult(
         experiment_id="F12a",
@@ -45,28 +44,43 @@ def run_second_cf(quick: bool = False,
                "cycle's assignable slots."))
 
 
-def run_dynamic_adjustment(quick: bool = False,
-                           seeds: Sequence[int] = (1, 2, 3),
-                           loads: Sequence[float] = PAPER_LOADS
-                           ) -> ExperimentResult:
-    cycles, warmup = cycles_for(quick)
-    rows = []
+def dynamic_adjustment_spec(quick: bool = False,
+                            seeds: Sequence[int] = (1, 2, 3),
+                            loads: Sequence[float] = PAPER_LOADS
+                            ) -> RunSpec:
+    """Grid: load x {1,4} GPS users x {dynamic,static} x seed."""
+    points = []
     for load in loads:
-        row = [load]
         for gps_users in (1, 4):
             for dynamic in (True, False):
-                summaries = []
                 for seed in seeds:
-                    kwargs = dict(EVAL_DEFAULTS)
-                    kwargs.update(num_gps_users=gps_users,
-                                  dynamic_slot_adjustment=dynamic,
-                                  cycles=cycles, warmup_cycles=warmup)
-                    stats = run_cell(CellConfig(load_index=load,
-                                                seed=seed, **kwargs))
-                    summaries.append(stats.summary())
-                point = average_summaries(summaries)
-                row.append(point["mean_data_slots_used"])
-        rows.append(row)
+                    config = sweep_cell_config(
+                        load, seed, quick=quick,
+                        num_gps_users=gps_users,
+                        dynamic_slot_adjustment=dynamic)
+                    points.append(cell_point(
+                        config, load=load, gps=gps_users,
+                        dynamic=dynamic, seed=seed))
+    return RunSpec(
+        name="fig12b",
+        points=tuple(points),
+        reducer=lambda values, pts: group_means(
+            values, pts, by=("load", "gps", "dynamic")))
+
+
+def run_dynamic_adjustment(quick: bool = False,
+                           seeds: Sequence[int] = (1, 2, 3),
+                           loads: Sequence[float] = PAPER_LOADS,
+                           jobs: Optional[int] = None,
+                           cache: Any = None) -> ExperimentResult:
+    spec = dynamic_adjustment_spec(quick=quick, seeds=seeds, loads=loads)
+    cells = {(point["load"], point["gps"], point["dynamic"]):
+             point["mean_data_slots_used"]
+             for point in execute(spec, jobs=jobs, cache=cache).reduced}
+    rows = [[load,
+             cells[(load, 1, True)], cells[(load, 1, False)],
+             cells[(load, 4, True)], cells[(load, 4, False)]]
+            for load in loads]
     return ExperimentResult(
         experiment_id="F12b",
         title="Data slots used per cycle with/without dynamic slot "
@@ -83,6 +97,9 @@ def run_dynamic_adjustment(quick: bool = False,
 
 
 def run(quick: bool = False,
-        seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
+        seeds: Sequence[int] = (1, 2, 3),
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
     """Default entry point: Fig. 12(a)."""
-    return run_second_cf(quick=quick, seeds=seeds)
+    return run_second_cf(quick=quick, seeds=seeds, jobs=jobs,
+                         cache=cache)

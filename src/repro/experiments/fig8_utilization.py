@@ -8,7 +8,7 @@ data slot per cycle is a contention slot).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
 from repro.experiments.runner import (
     ExperimentResult,
@@ -19,8 +19,11 @@ from repro.experiments.runner import (
 
 def run(quick: bool = False,
         seeds: Sequence[int] = (1, 2, 3),
-        loads: Sequence[float] = PAPER_LOADS) -> ExperimentResult:
-    points = sweep_loads(loads=loads, seeds=seeds, quick=quick)
+        loads: Sequence[float] = PAPER_LOADS,
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
+    points = sweep_loads(loads=loads, seeds=seeds, quick=quick,
+                         jobs=jobs, cache=cache)
     rows = [[point["load"], point["utilization"],
              point["message_loss_rate"]] for point in points]
     return ExperimentResult(

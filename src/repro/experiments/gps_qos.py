@@ -8,47 +8,77 @@ switches.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.core.cell import build_cell
 from repro.core.config import CellConfig
+from repro.engine import Point, RunSpec, execute
 from repro.experiments.runner import ExperimentResult, cycles_for
 from repro.phy import timing
 
+SCENARIOS = (("steady, 8 GPS users", False),
+             ("churn: 5 of 8 sign off", True))
+
+
+def gps_qos_task(config: Dict[str, Any]) -> Dict[str, float]:
+    """Task: one GPS-QoS scenario (optionally with sign-off churn)."""
+    cell_config = CellConfig(num_data_users=9, num_gps_users=8,
+                             load_index=0.8, cycles=config["cycles"],
+                             warmup_cycles=config["warmup"],
+                             seed=config["seed"])
+    run_obj = build_cell(cell_config)
+    if config["churn"]:
+        bs = run_obj.base_station
+        for index, unit in enumerate(run_obj.gps_units[:5]):
+            when = ((config["warmup"] + 20 + 12 * index)
+                    * timing.CYCLE_LENGTH)
+
+            def sign_off(unit=unit):
+                if unit.uid is not None:
+                    bs.sign_off(unit.uid)
+
+            run_obj.sim.call_at(when, sign_off)
+    run_obj.sim.run(until=cell_config.duration)
+    stats = run_obj.stats
+    return {"reports_sent": float(stats.gps_packets_sent),
+            "deadline_misses": float(stats.gps_deadline_misses),
+            "max_access_delay_s": stats.gps_access_delay.max or 0.0,
+            "reassignments": float(
+                len(run_obj.base_station.gps_mgr.reassignments))}
+
+
+def spec(quick: bool = False,
+         seeds: Sequence[int] = (1, 2, 3)) -> RunSpec:
+    cycles, warmup = cycles_for(quick)
+    points = []
+    for scenario, churn in SCENARIOS:
+        for seed in seeds:
+            points.append(Point(
+                fn=gps_qos_task,
+                config=dict(churn=churn, cycles=cycles, warmup=warmup,
+                            seed=seed),
+                label=dict(scenario=scenario, seed=seed)))
+    return RunSpec(name="gps_qos", points=tuple(points))
+
 
 def run(quick: bool = False,
-        seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
-    cycles, warmup = cycles_for(quick)
+        seeds: Sequence[int] = (1, 2, 3),
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
+    result = execute(spec(quick=quick, seeds=seeds), jobs=jobs,
+                     cache=cache)
     rows = []
-    for scenario, churn in (("steady, 8 GPS users", False),
-                            ("churn: 5 of 8 sign off", True)):
-        sent = misses = reassignments = 0.0
-        max_delay = 0.0
-        for seed in seeds:
-            config = CellConfig(num_data_users=9, num_gps_users=8,
-                                load_index=0.8, cycles=cycles,
-                                warmup_cycles=warmup, seed=seed)
-            run_obj = build_cell(config)
-            if churn:
-                bs = run_obj.base_station
-                for index, unit in enumerate(run_obj.gps_units[:5]):
-                    when = (warmup + 20 + 12 * index) * timing.CYCLE_LENGTH
-
-                    def sign_off(unit=unit):
-                        if unit.uid is not None:
-                            bs.sign_off(unit.uid)
-
-                    run_obj.sim.call_at(when, sign_off)
-            run_obj.sim.run(until=config.duration)
-            stats = run_obj.stats
-            sent += stats.gps_packets_sent
-            misses += stats.gps_deadline_misses
-            max_delay = max(max_delay, stats.gps_access_delay.max or 0.0)
-            reassignments += len(
-                run_obj.base_station.gps_mgr.reassignments)
-        n = len(seeds)
-        rows.append([scenario, sent / n, misses / n,
-                     max_delay, reassignments / n])
+    for scenario, _churn in SCENARIOS:
+        group = [value for value, point
+                 in zip(result.values, result.spec.points)
+                 if point.label["scenario"] == scenario]
+        n = len(group)
+        rows.append([
+            scenario,
+            sum(value["reports_sent"] for value in group) / n,
+            sum(value["deadline_misses"] for value in group) / n,
+            max(value["max_access_delay_s"] for value in group),
+            sum(value["reassignments"] for value in group) / n])
     return ExperimentResult(
         experiment_id="Q1",
         title="GPS access-delay QoS (4 s deadline)",

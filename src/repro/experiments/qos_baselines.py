@@ -14,33 +14,62 @@ Two claims from the paper's Section 4 survey, quantified:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Dict, Optional, Sequence
 
+from repro.engine import Point, RunSpec, execute, group_means
 from repro.experiments.runner import ExperimentResult
-from repro.protocols import FAMA, MCNS, RQMA, SlottedAloha
+
+RQMA_ERROR_RATES = (0.0, 0.05, 0.10, 0.20, 0.30)
+FAMA_PACKET_LENGTHS = (2, 5, 10, 25, 50)
+
+
+def rqma_task(config: Dict[str, Any]) -> Dict[str, float]:
+    """Task: one RQMA run -> deadline-miss rate and retransmissions."""
+    from repro.protocols import RQMA
+
+    protocol = RQMA(num_rt_sessions=6, num_best_effort=6,
+                    be_arrival_probability=0.2,
+                    slot_error_probability=config["error_rate"],
+                    rt_retransmission=config["retransmission"],
+                    seed=config["seed"])
+    stats = protocol.run(config["frames"])
+    return {"rt_miss_rate": stats.rt_miss_rate(),
+            "retransmissions": float(stats.rt_retransmissions)}
+
+
+def rqma_spec(quick: bool = False,
+              seeds: Sequence[int] = (1, 2, 3)) -> RunSpec:
+    frames = 400 if quick else 1500
+    points = []
+    for error_rate in RQMA_ERROR_RATES:
+        for retransmission in (True, False):
+            for seed in seeds:
+                points.append(Point(
+                    fn=rqma_task,
+                    config=dict(error_rate=error_rate,
+                                retransmission=retransmission,
+                                frames=frames, seed=seed),
+                    label=dict(error_rate=error_rate,
+                               retransmission=retransmission,
+                               seed=seed)))
+    return RunSpec(
+        name="qos-rqma",
+        points=tuple(points),
+        reducer=lambda values, pts: group_means(
+            values, pts, by=("error_rate", "retransmission")))
 
 
 def run_rqma(quick: bool = False,
-             seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
-    frames = 400 if quick else 1500
-    rows = []
-    for error_rate in (0.0, 0.05, 0.10, 0.20, 0.30):
-        for retransmission in (True, False):
-            miss = retx = 0.0
-            for seed in seeds:
-                protocol = RQMA(num_rt_sessions=6, num_best_effort=6,
-                                be_arrival_probability=0.2,
-                                slot_error_probability=error_rate,
-                                rt_retransmission=retransmission,
-                                seed=seed)
-                stats = protocol.run(frames)
-                miss += stats.rt_miss_rate()
-                retx += stats.rt_retransmissions
-            n = len(seeds)
-            rows.append([error_rate,
-                         "with rtx session" if retransmission
-                         else "no rtx session",
-                         miss / n, retx / n])
+             seeds: Sequence[int] = (1, 2, 3),
+             jobs: Optional[int] = None,
+             cache: Any = None) -> ExperimentResult:
+    result = execute(rqma_spec(quick=quick, seeds=seeds), jobs=jobs,
+                     cache=cache)
+    rows = [[point["error_rate"],
+             "with rtx session" if point["retransmission"]
+             else "no rtx session",
+             point["rt_miss_rate"], point["retransmissions"]]
+            for point in result.reduced]
     return ExperimentResult(
         experiment_id="X3a",
         title="RQMA real-time deadline misses vs channel error rate "
@@ -53,26 +82,58 @@ def run_rqma(quick: bool = False,
                "without it every channel error is a deadline miss."))
 
 
-def run_fama(quick: bool = False,
-             seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
-    minislots = 20000 if quick else 60000
-    rows = []
-    for data_minislots in (2, 5, 10, 25, 50):
-        fama_throughput = 0.0
-        for seed in seeds:
-            protocol = FAMA(num_terminals=20, arrival_probability=1.0,
-                            persistence=0.1,
-                            data_minislots=data_minislots, seed=seed)
-            fama_throughput += protocol.run(minislots).throughput()
-        rows.append([data_minislots, "fama",
-                     fama_throughput / len(seeds)])
-    aloha_throughput = 0.0
-    for seed in seeds:
+def fama_task(config: Dict[str, Any]) -> Dict[str, float]:
+    """Task: one FAMA (or slotted-ALOHA reference) run -> throughput."""
+    from repro.protocols import FAMA, SlottedAloha
+
+    if config["protocol"] == "fama":
+        protocol = FAMA(num_terminals=20, arrival_probability=1.0,
+                        persistence=0.1,
+                        data_minislots=config["data_minislots"],
+                        seed=config["seed"])
+    else:
         protocol = SlottedAloha(num_terminals=20,
                                 arrival_probability=1.0,
-                                transmit_probability=1 / 20, seed=seed)
-        aloha_throughput += protocol.run(minislots).throughput()
-    rows.append(["any", "slotted aloha", aloha_throughput / len(seeds)])
+                                transmit_probability=1 / 20,
+                                seed=config["seed"])
+    return {"throughput": protocol.run(config["minislots"]).throughput()}
+
+
+def fama_spec(quick: bool = False,
+              seeds: Sequence[int] = (1, 2, 3)) -> RunSpec:
+    minislots = 20000 if quick else 60000
+    points = []
+    for data_minislots in FAMA_PACKET_LENGTHS:
+        for seed in seeds:
+            points.append(Point(
+                fn=fama_task,
+                config=dict(protocol="fama",
+                            data_minislots=data_minislots,
+                            minislots=minislots, seed=seed),
+                label=dict(length=data_minislots, protocol="fama",
+                           seed=seed)))
+    for seed in seeds:
+        points.append(Point(
+            fn=fama_task,
+            config=dict(protocol="aloha", data_minislots=0,
+                        minislots=minislots, seed=seed),
+            label=dict(length="any", protocol="slotted aloha",
+                       seed=seed)))
+    return RunSpec(
+        name="qos-fama",
+        points=tuple(points),
+        reducer=lambda values, pts: group_means(
+            values, pts, by=("length", "protocol")))
+
+
+def run_fama(quick: bool = False,
+             seeds: Sequence[int] = (1, 2, 3),
+             jobs: Optional[int] = None,
+             cache: Any = None) -> ExperimentResult:
+    result = execute(fama_spec(quick=quick, seeds=seeds), jobs=jobs,
+                     cache=cache)
+    rows = [[point["length"], point["protocol"], point["throughput"]]
+            for point in result.reduced]
     return ExperimentResult(
         experiment_id="X3b",
         title="FAMA throughput vs packet length (extension)",
@@ -84,21 +145,44 @@ def run_fama(quick: bool = False,
                "1/e = 0.368 regardless."))
 
 
-def run_mcns(quick: bool = False,
-             seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
-    """X3c: DOCSIS piggyback requests mirror OSU-MAC's Fig. 9 trend."""
+def mcns_task(config: Dict[str, Any]) -> Dict[str, float]:
+    """Task: one MCNS run -> piggyback fraction and throughput."""
+    from repro.protocols import MCNS
+
+    protocol = MCNS(num_modems=10,
+                    arrival_probability=config["arrival"],
+                    seed=config["seed"])
+    stats = protocol.run(config["maps"])
+    return {"piggyback_fraction": protocol.piggyback_fraction(),
+            "throughput": stats.throughput()}
+
+
+def mcns_spec(quick: bool = False,
+              seeds: Sequence[int] = (1, 2, 3)) -> RunSpec:
     maps = 1000 if quick else 4000
-    rows = []
+    points = []
     for arrival in (0.02, 0.05, 0.1, 0.2, 0.4):
-        piggyback_fraction = throughput = 0.0
         for seed in seeds:
-            protocol = MCNS(num_modems=10,
-                            arrival_probability=arrival, seed=seed)
-            stats = protocol.run(maps)
-            piggyback_fraction += protocol.piggyback_fraction()
-            throughput += stats.throughput()
-        n = len(seeds)
-        rows.append([arrival, piggyback_fraction / n, throughput / n])
+            points.append(Point(
+                fn=mcns_task,
+                config=dict(arrival=arrival, maps=maps, seed=seed),
+                label=dict(arrival=arrival, seed=seed)))
+    return RunSpec(
+        name="qos-mcns",
+        points=tuple(points),
+        reducer=lambda values, pts: group_means(
+            values, pts, by=("arrival",)))
+
+
+def run_mcns(quick: bool = False,
+             seeds: Sequence[int] = (1, 2, 3),
+             jobs: Optional[int] = None,
+             cache: Any = None) -> ExperimentResult:
+    """X3c: DOCSIS piggyback requests mirror OSU-MAC's Fig. 9 trend."""
+    result = execute(mcns_spec(quick=quick, seeds=seeds), jobs=jobs,
+                     cache=cache)
+    rows = [[point["arrival"], point["piggyback_fraction"],
+             point["throughput"]] for point in result.reduced]
     return ExperimentResult(
         experiment_id="X3c",
         title="MCNS/DOCSIS: piggyback request share vs load (extension)",
@@ -111,5 +195,7 @@ def run_mcns(quick: bool = False,
 
 
 def run(quick: bool = False,
-        seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
-    return run_rqma(quick=quick, seeds=seeds)
+        seeds: Sequence[int] = (1, 2, 3),
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
+    return run_rqma(quick=quick, seeds=seeds, jobs=jobs, cache=cache)

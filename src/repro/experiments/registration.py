@@ -9,36 +9,56 @@ mechanism digging the cell out of a pile-up.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.core.cell import run_cell
 from repro.core.config import CellConfig
+from repro.engine import Point, RunSpec, execute, group_means
 from repro.experiments.runner import ExperimentResult, cycles_for
 
+SCENARIOS = (("poisson", 0.05), ("poisson", 0.15),
+             ("simultaneous", None))
 
-def run(quick: bool = False,
-        seeds: Sequence[int] = (1, 2, 3)) -> ExperimentResult:
+
+def registration_task(config: CellConfig) -> Dict[str, float]:
+    """Task: one registration scenario -> latency CDF points."""
+    stats = run_cell(config)
+    return {"registered": float(stats.registrations_completed),
+            "mean_cycles": stats.registration_latency_cycles.mean,
+            "cdf2": stats.registration_cdf(2),
+            "cdf10": stats.registration_cdf(10)}
+
+
+def spec(quick: bool = False,
+         seeds: Sequence[int] = (1, 2, 3)) -> RunSpec:
     cycles, _ = cycles_for(quick)
-    rows = []
-    for mode, rate in (("poisson", 0.05), ("poisson", 0.15),
-                       ("simultaneous", None)):
-        latencies = []
-        cdf2 = cdf10 = completed = 0.0
+    points = []
+    for mode, rate in SCENARIOS:
+        label = mode if rate is None else f"{mode} ({rate}/s)"
         for seed in seeds:
             config = CellConfig(
                 num_data_users=14, num_gps_users=8, load_index=0.5,
                 registration_mode=mode,
                 registration_rate=rate or 0.25,
                 cycles=max(cycles, 120), warmup_cycles=30, seed=seed)
-            stats = run_cell(config)
-            cdf2 += stats.registration_cdf(2)
-            cdf10 += stats.registration_cdf(10)
-            completed += stats.registrations_completed
-            latencies.append(stats.registration_latency_cycles.mean)
-        n = len(seeds)
-        label = mode if rate is None else f"{mode} ({rate}/s)"
-        rows.append([label, completed / n, sum(latencies) / n,
-                     cdf2 / n, cdf10 / n])
+            points.append(Point(fn=registration_task, config=config,
+                                label=dict(scenario=label, seed=seed)))
+    return RunSpec(
+        name="registration",
+        points=tuple(points),
+        reducer=lambda values, pts: group_means(
+            values, pts, by=("scenario",)))
+
+
+def run(quick: bool = False,
+        seeds: Sequence[int] = (1, 2, 3),
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
+    result = execute(spec(quick=quick, seeds=seeds), jobs=jobs,
+                     cache=cache)
+    rows = [[point["scenario"], point["registered"],
+             point["mean_cycles"], point["cdf2"], point["cdf10"]]
+            for point in result.reduced]
     return ExperimentResult(
         experiment_id="R1",
         title="Registration latency vs the Section 2.1 design goals",

@@ -13,38 +13,48 @@ high, GPS QoS never breaks, and the radio timeline stays legal.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
-from repro.core.cell import run_cell
 from repro.core.config import CellConfig
+from repro.engine import RunSpec, cell_point, execute, group_means
 from repro.experiments.runner import ExperimentResult, cycles_for
 
 
-def run(quick: bool = False,
-        seeds: Sequence[int] = (1, 2)) -> ExperimentResult:
+def spec(quick: bool = False,
+         seeds: Sequence[int] = (1, 2)) -> RunSpec:
     cycles, warmup = cycles_for(quick)
-    scenarios = []
+    points = []
     for data_users in (5, 9, 14):
         for gps_users in (1, 4, 8):
             for size in ("fixed", "uniform"):
-                scenarios.append((data_users, gps_users, size))
-    rows = []
-    for data_users, gps_users, size in scenarios:
-        util = fairness = misses = violations = delay = 0.0
-        for seed in seeds:
-            stats = run_cell(CellConfig(
-                num_data_users=data_users, num_gps_users=gps_users,
-                load_index=0.7, message_size=size,
-                cycles=cycles, warmup_cycles=warmup, seed=seed))
-            util += stats.utilization()
-            fairness += stats.fairness()
-            misses += stats.gps_deadline_misses
-            violations += stats.radio_violations
-            delay += stats.mean_message_delay_cycles()
-        n = len(seeds)
-        rows.append([data_users, gps_users, size, util / n,
-                     delay / n, fairness / n, misses / n,
-                     violations / n])
+                for seed in seeds:
+                    config = CellConfig(
+                        num_data_users=data_users,
+                        num_gps_users=gps_users,
+                        load_index=0.7, message_size=size,
+                        cycles=cycles, warmup_cycles=warmup,
+                        seed=seed)
+                    points.append(cell_point(
+                        config, data_users=data_users,
+                        gps_users=gps_users, size=size, seed=seed))
+    return RunSpec(
+        name="robustness",
+        points=tuple(points),
+        reducer=lambda values, pts: group_means(
+            values, pts, by=("data_users", "gps_users", "size")))
+
+
+def run(quick: bool = False,
+        seeds: Sequence[int] = (1, 2),
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
+    result = execute(spec(quick=quick, seeds=seeds), jobs=jobs,
+                     cache=cache)
+    rows = [[point["data_users"], point["gps_users"], point["size"],
+             point["utilization"], point["mean_message_delay_cycles"],
+             point["fairness"], point["gps_deadline_misses"],
+             point["radio_violations"]]
+            for point in result.reduced]
     return ExperimentResult(
         experiment_id="R2",
         title="Parameter robustness at rho = 0.7 (Section 5 claim)",

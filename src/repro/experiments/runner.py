@@ -1,4 +1,10 @@
-"""Shared experiment machinery: load sweeps and result containers."""
+"""Shared experiment machinery: load sweeps and result containers.
+
+The sweep itself is delegated to :mod:`repro.engine`: every (load, seed)
+pair becomes one engine point, so sweeps run serial or parallel
+(``jobs``/``REPRO_JOBS``) and hit the on-disk result cache
+transparently.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.cell import run_cell
 from repro.core.config import CellConfig
+from repro.engine import RunSpec, cell_point, execute, group_means
+from repro.engine.spec import Point, mean_of_summaries
 from repro.metrics import CellStats
 
 #: The load indices the paper sweeps (Section 5).
@@ -83,42 +91,77 @@ def cycles_for(quick: bool) -> "tuple[int, int]":
     return (140, 25) if quick else (400, 40)
 
 
+def sweep_cell_config(load: float, seed: int, quick: bool = False,
+                      **config_overrides) -> CellConfig:
+    """The Section-5 scenario config for one (load, seed) point."""
+    cycles, warmup = cycles_for(quick)
+    kwargs = dict(EVAL_DEFAULTS)
+    kwargs.update(config_overrides)
+    kwargs.setdefault("cycles", cycles)
+    kwargs.setdefault("warmup_cycles", warmup)
+    return CellConfig(load_index=load, seed=seed, **kwargs)
+
+
+def _cell_summary_with_metric(payload) -> Dict[str, float]:
+    """Task: cell summary plus a caller-supplied derived metric."""
+    config, metric = payload
+    stats = run_cell(config)
+    summary = stats.summary()
+    summary["metric"] = metric(stats)
+    return summary
+
+
+def sweep_spec(loads: Sequence[float] = PAPER_LOADS,
+               seeds: Sequence[int] = (1, 2, 3),
+               quick: bool = False,
+               metric: Optional[Callable[[CellStats], float]] = None,
+               **config_overrides) -> RunSpec:
+    """The declarative spec behind :func:`sweep_loads`."""
+    points = []
+    for load in loads:
+        for seed in seeds:
+            config = sweep_cell_config(load, seed, quick=quick,
+                                       **config_overrides)
+            if metric is None:
+                points.append(cell_point(config, load=load, seed=seed))
+            else:
+                points.append(Point(fn=_cell_summary_with_metric,
+                                    config=(config, metric),
+                                    label=dict(load=load, seed=seed)))
+    return RunSpec(
+        name="sweep_loads",
+        points=tuple(points),
+        reducer=lambda values, pts: group_means(values, pts, by=("load",)))
+
+
 def sweep_loads(loads: Sequence[float] = PAPER_LOADS,
                 seeds: Sequence[int] = (1, 2, 3),
                 quick: bool = False,
                 metric: Optional[Callable[[CellStats], float]] = None,
+                jobs: Optional[int] = None,
+                cache: Any = None,
                 **config_overrides) -> List[Dict[str, Any]]:
     """Run the Section-5 scenario across load indices.
 
     Returns one dict per load with every headline metric averaged over
     the seeds (plus ``load``); when ``metric`` is given its value is
-    added under the key ``"metric"``.
+    added under the key ``"metric"``.  ``jobs`` selects the engine
+    executor; ``cache`` controls the on-disk result cache (a ``metric``
+    callable disables caching, since its code is not part of the cache
+    key -- and must be a module-level function to run with jobs > 1).
     """
-    cycles, warmup = cycles_for(quick)
-    points: List[Dict[str, Any]] = []
-    for load in loads:
-        summaries = []
-        for seed in seeds:
-            kwargs = dict(EVAL_DEFAULTS)
-            kwargs.update(config_overrides)
-            kwargs.setdefault("cycles", cycles)
-            kwargs.setdefault("warmup_cycles", warmup)
-            stats = run_cell(CellConfig(load_index=load, seed=seed,
-                                        **kwargs))
-            summary = stats.summary()
-            if metric is not None:
-                summary["metric"] = metric(stats)
-            summaries.append(summary)
-        point = average_summaries(summaries)
-        point["load"] = load
-        points.append(point)
-    return points
+    spec = sweep_spec(loads=loads, seeds=seeds, quick=quick,
+                      metric=metric, **config_overrides)
+    if metric is not None:
+        cache = False
+    return execute(spec, jobs=jobs, cache=cache).reduced
 
 
 def average_summaries(summaries: List[Dict[str, float]]) -> Dict[str, float]:
-    """Field-wise mean of several summary dicts."""
-    if not summaries:
-        return {}
-    keys = summaries[0].keys()
-    return {key: sum(summary[key] for summary in summaries)
-            / len(summaries) for key in keys}
+    """Field-wise mean of several summary dicts.
+
+    Keys are intersected across the summaries, so a field present in
+    only some of them (e.g. ``metric`` set for part of the seeds) is
+    dropped instead of raising ``KeyError``.
+    """
+    return mean_of_summaries(summaries)

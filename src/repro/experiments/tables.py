@@ -7,11 +7,15 @@ values the paper states, so any modelling drift is immediately visible.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 from repro.experiments.runner import ExperimentResult
 from repro.phy import timing
 
 
-def run_table1(quick: bool = False) -> ExperimentResult:
+def run_table1(quick: bool = False,
+               jobs: Optional[int] = None,
+               cache: Any = None) -> ExperimentResult:
     rows = [
         ["Channel symbol rate fwd (sym/s)", 3200,
          timing.FORWARD_SYMBOL_RATE],
@@ -73,7 +77,9 @@ PAPER_TABLE2 = {
 }
 
 
-def run_table2(quick: bool = False) -> ExperimentResult:
+def run_table2(quick: bool = False,
+               jobs: Optional[int] = None,
+               cache: Any = None) -> ExperimentResult:
     rows = []
     mismatches = []
     layouts = {"format1": timing.FORMAT1, "format2": timing.FORMAT2}
@@ -100,5 +106,7 @@ def run_table2(quick: bool = False) -> ExperimentResult:
         extra={"mismatches": mismatches})
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False,
+        jobs: Optional[int] = None,
+        cache: Any = None) -> ExperimentResult:
     return run_table2(quick=quick)

@@ -31,6 +31,15 @@ class TestOnAirDurations:
         assert DATA_ON_AIR < timing.DATA_SLOT_TIME
 
 
+class TestForwardSequenceApi:
+    def test_next_forward_seq_allocates_monotonically(self):
+        run = build()
+        subscriber = run.data_users[0]
+        assert subscriber.next_forward_seq() == 0
+        assert subscriber.next_forward_seq() == 1
+        assert subscriber.next_forward_seq() == 2
+
+
 class TestBufferManagement:
     def test_buffer_overflow_drops_whole_message(self):
         run = build(buffer_packets=5)
