@@ -40,12 +40,27 @@ def _add_cell_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--forward-load", type=float, default=0.0)
     parser.add_argument("--no-second-cf", action="store_true")
     parser.add_argument("--no-dynamic-adjustment", action="store_true")
+    parser.add_argument("--faults", default="",
+                        help="fault schedule, e.g. "
+                             "'crash:data-0@40;restart:data-0@52;"
+                             "fade:gps-*@60+4*0.9'")
+    parser.add_argument("--lease", type=int, default=0, metavar="CYCLES",
+                        help="liveness lease: deregister subscribers "
+                             "silent for CYCLES cycles (0 = off)")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="run the per-cycle protocol invariant "
+                             "monitor (repro.faults.invariants)")
     parser.add_argument("--json", action="store_true",
                         help="print the summary as JSON")
 
 
 def _cell_config(args: argparse.Namespace) -> CellConfig:
+    from repro.faults.schedule import parse_faults
+
     return CellConfig(
+        faults=parse_faults(args.faults) if args.faults else (),
+        liveness_lease_cycles=args.lease,
+        check_invariants=args.check_invariants,
         num_data_users=args.data_users,
         num_gps_users=args.gps_users,
         load_index=args.load,

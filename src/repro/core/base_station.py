@@ -30,7 +30,6 @@ from repro.core.fields import AckEntry, ControlFields
 from repro.core.frames import (
     DownlinkFrame,
     KIND_DATA,
-    KIND_GPS,
     KIND_REGISTRATION,
     KIND_RESERVATION,
     SLOT_DATA,
@@ -40,7 +39,6 @@ from repro.core.gps_slots import GpsSlotManager
 from repro.core.packets import (
     DataPacket,
     ForwardPacket,
-    GPSPacket,
     RegistrationPacket,
     ReservationPacket,
     SERVICE_GPS,
@@ -56,7 +54,6 @@ from repro.metrics import CellStats
 from repro.phy import timing
 from repro.phy.channel import (
     ForwardChannel,
-    Link,
     ReverseChannel,
     Transmission,
 )
@@ -132,6 +129,10 @@ class BaseStation:
         self._slot_results: Dict["tuple[int, int]", SlotResult] = {}
         #: Recently delivered (uid, seq) pairs, for duplicate suppression.
         self._recent_seqs: Dict[int, Set[int]] = {}
+        #: Liveness leases: uid -> cycle the base station last heard an
+        #: uplink from it (any kind).  A registrant silent for
+        #: ``config.liveness_lease_cycles`` cycles is deregistered.
+        self._last_heard: Dict[int, int] = {}
 
         self.codec = RS_64_48
 
@@ -152,6 +153,15 @@ class BaseStation:
 
     def sign_off(self, uid: int) -> None:
         """Remove a subscriber (control-plane shortcut for churn tests)."""
+        self._deregister(uid)
+
+    def _deregister(self, uid: int) -> None:
+        """Drop every piece of per-subscriber state the station holds.
+
+        The UID returns to the pool and, for GPS users, the slot is
+        reclaimed through the paper's R1-R3 reassignment rules (the next
+        cycle's layout re-runs dynamic slot adjustment automatically).
+        """
         record = self.registration.lookup_uid(uid)
         if record is None:
             return
@@ -160,6 +170,23 @@ class BaseStation:
         self.registration.release(uid)
         self.demands.pop(uid, None)
         self.forward_queues.pop(uid, None)
+        self._recent_seqs.pop(uid, None)
+        self._last_heard.pop(uid, None)
+
+    def _sweep_leases(self) -> None:
+        """Deregister every registrant whose liveness lease expired."""
+        lease = self.config.liveness_lease_cycles
+        expired = [uid for uid, last in self._last_heard.items()
+                   if self.cycle - last >= lease]
+        for uid in expired:
+            self._deregister(uid)
+            self.stats.lease_evictions += 1
+
+    def _touch(self, uid: Optional[int]) -> None:
+        """Refresh ``uid``'s liveness lease (it was just heard from)."""
+        if uid is not None \
+                and self.registration.lookup_uid(uid) is not None:
+            self._last_heard[uid] = self.cycle
 
     def submit_forward(self, uid: int, packet: ForwardPacket) -> None:
         """Queue a downlink packet for ``uid``."""
@@ -193,6 +220,8 @@ class BaseStation:
     def _build_cycle(self, t0: float) -> CycleRecord:
         previous = self._records.get(self.cycle - 1)
         self._finalize_contention(previous)
+        if self.config.liveness_lease_cycles:
+            self._sweep_leases()
 
         layout = self.gps_mgr.layout()
         gps_assignment = self.gps_mgr.schedule()
@@ -423,16 +452,23 @@ class BaseStation:
                              ok: bool) -> None:
         frame: UplinkFrame = transmission.payload
         now = self.sim.now
+        # Measurement gating uses the transmission's *start* time -- the
+        # same clock the sender's ``*_sent`` counters use -- so the
+        # sent/delivered conservation pairs cannot disagree when a slot
+        # straddles the warmup boundary.
+        start = transmission.start
         if frame.slot_kind != SLOT_DATA:
-            if ok and self.stats.in_measurement(now):
-                self.stats.gps_packets_delivered += 1
+            if ok:
+                self._touch(frame.uid)
+                if self.stats.in_measurement(start):
+                    self.stats.gps_packets_delivered += 1
             return
         key = (frame.cycle, frame.slot_index)
         result = self._slot_results.setdefault(key, SlotResult())
         result.attempts += 1
         if transmission.collided:
             result.collided = True
-        if frame.contention and self.stats.in_measurement(now):
+        if frame.contention and self.stats.in_measurement(start):
             self.stats.contention_attempts += 1
             if transmission.collided:
                 self.stats.contention_attempts_collided += 1
@@ -444,9 +480,9 @@ class BaseStation:
         if frame.kind == KIND_REGISTRATION:
             self._handle_registration(frame, result)
         elif frame.kind == KIND_RESERVATION:
-            self._handle_reservation(frame, result)
+            self._handle_reservation(frame, result, start)
         elif frame.kind == KIND_DATA:
-            self._handle_data(frame, result)
+            self._handle_data(frame, result, start)
 
     @staticmethod
     def _verify_wire_decode(frame: UplinkFrame, info: bytes) -> None:
@@ -484,14 +520,21 @@ class BaseStation:
         record = self.registration.approve(packet.ein, packet.service,
                                            self.sim.now)
         if record is None:
-            return  # out of capacity: no ACK, the subscriber retries
+            # Out of capacity: no ACK, the subscriber retries.
+            self.stats.registrations_rejected_capacity += 1
+            return
         if not already and packet.service == SERVICE_GPS:
             slot = self.gps_mgr.admit(record.uid)
             if slot is None:
                 self.registration.release(record.uid)
+                self.stats.registrations_rejected_gps_slot += 1
                 return
         result.ack = AckEntry.registration_reply(packet.ein, record.uid)
+        self._last_heard[record.uid] = self.cycle
         if not already:
+            # A freshly issued (possibly recycled) UID must not inherit
+            # the previous holder's duplicate-suppression history.
+            self._recent_seqs.pop(record.uid, None)
             latency = frame.cycle - frame.first_attempt_cycle + 1
             self.stats.registrations_completed += 1
             self.stats.registration_latency_cycles.push(latency)
@@ -499,20 +542,31 @@ class BaseStation:
                 self.on_registration(record)
 
     def _handle_reservation(self, frame: UplinkFrame,
-                            result: SlotResult) -> None:
+                            result: SlotResult, start: float) -> None:
         packet: ReservationPacket = frame.packet
+        if self.registration.lookup_uid(packet.uid) is None:
+            # A deregistered sender gets no ACK and no state: repeated
+            # silence is the signal that drives it back to registration.
+            self.stats.unknown_uid_drops += 1
+            return
+        self._touch(packet.uid)
         self.demands[packet.uid] = max(
             self.demands.get(packet.uid, 0), packet.requested)
         result.ack = AckEntry.data_ack(packet.uid)
-        if self.stats.in_measurement(self.sim.now):
+        if self.stats.in_measurement(start):
             self.stats.reservation_packets_received += 1
             if frame.contention:
                 latency = frame.cycle - frame.first_attempt_cycle + 1
                 self.stats.reservation_latency_cycles.push(latency)
 
-    def _handle_data(self, frame: UplinkFrame, result: SlotResult) -> None:
+    def _handle_data(self, frame: UplinkFrame, result: SlotResult,
+                     start: float) -> None:
         packet: DataPacket = frame.packet
         uid = packet.uid
+        if self.registration.lookup_uid(uid) is None:
+            self.stats.unknown_uid_drops += 1
+            return
+        self._touch(uid)
         self.demands[uid] = packet.piggyback
         result.ack = AckEntry.data_ack(uid)
         now = self.sim.now
@@ -528,7 +582,7 @@ class BaseStation:
             return
         if self.on_data_packet is not None:
             self.on_data_packet(frame, packet)
-        if not self.stats.in_measurement(now):
+        if not self.stats.in_measurement(start):
             return
         self.stats.data_packets_delivered += 1
         self.stats.payload_bytes_delivered += packet.payload_len

@@ -11,13 +11,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List, Optional
 
 from repro.core.base_station import BaseStation
 from repro.core.config import CellConfig
 from repro.core.packets import PAYLOAD_BYTES, ForwardPacket
 from repro.core.gps_unit import GpsSubscriber
 from repro.core.subscriber import ACTIVE, DataSubscriber
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantMonitor
 from repro.metrics import CellStats
 from repro.phy import timing
 from repro.phy.channel import ForwardChannel, Link, ReverseChannel
@@ -64,6 +66,8 @@ class CellRun:
     base_station: BaseStation
     data_users: List[DataSubscriber]
     gps_units: List[GpsSubscriber]
+    injector: Optional[FaultInjector] = None
+    monitor: Optional[InvariantMonitor] = None
 
 
 def build_cell(config: CellConfig,
@@ -170,9 +174,20 @@ def build_cell(config: CellConfig,
                 sizes, deliver=deliver,
                 start_at=subscriber.entry_time)
 
+    # -- robustness instrumentation --------------------------------------
+    injector = None
+    if config.faults:
+        injector = FaultInjector(sim, config,
+                                 data_users + gps_units, stats)
+    monitor = None
+    if config.check_invariants:
+        monitor = InvariantMonitor(sim, config, base_station,
+                                   data_users, gps_units, stats)
+
     return CellRun(config=config, stats=stats, sim=sim,
                    base_station=base_station, data_users=data_users,
-                   gps_units=gps_units)
+                   gps_units=gps_units, injector=injector,
+                   monitor=monitor)
 
 
 def _submit_forward_message(base_station: BaseStation,
@@ -214,3 +229,5 @@ def _finalize(run: CellRun) -> None:
         stats.radio_violations += len(subscriber.radio.violations)
     for unit in run.gps_units:
         stats.radio_violations += len(unit.radio.violations)
+    if run.monitor is not None:
+        run.monitor.check_now()  # one last audit of the final state

@@ -8,8 +8,8 @@ target load index.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.phy import timing
 
@@ -67,6 +67,24 @@ class CellConfig:
     registration_mode: str = "simultaneous"  # or 'poisson'
     registration_rate: float = 0.25  # arrivals per second for 'poisson'
 
+    # -- robustness: fault injection & liveness leases ----------------------
+    #: Scripted fault events (``repro.faults.schedule.FaultSpec``); part
+    #: of the config so fault scenarios stay hashable and cacheable.
+    faults: Tuple = ()
+    #: A registrant the base station has not heard from for this many
+    #: cycles is deregistered (UID returned to the pool, GPS slot
+    #: reclaimed via R1-R3).  0 disables leases AND the subscriber-side
+    #: eviction detection, preserving the paper's original behaviour.
+    liveness_lease_cycles: int = 0
+    #: GPS units: consecutive heard control fields without a GPS slot
+    #: before an active unit assumes it was deregistered.
+    eviction_detect_cycles: int = 2
+    #: Data users: consecutive un-ACKed transmissions/attempts before an
+    #: active user assumes it was deregistered and re-registers.
+    eviction_detect_attempts: int = 6
+    #: Run the per-cycle ``repro.faults.invariants`` monitor.
+    check_invariants: bool = False
+
     # -- run control ---------------------------------------------------------
     cycles: int = 200
     warmup_cycles: int = 30
@@ -84,6 +102,19 @@ class CellConfig:
             raise ValueError("cycles must exceed warmup_cycles")
         if self.min_contention_slots < 1:
             raise ValueError("need at least one contention slot")
+        if self.liveness_lease_cycles < 0:
+            raise ValueError("liveness_lease_cycles must be >= 0")
+        if self.eviction_detect_cycles < 1:
+            raise ValueError("eviction_detect_cycles must be >= 1")
+        if self.eviction_detect_attempts < 1:
+            raise ValueError("eviction_detect_attempts must be >= 1")
+        self.faults = tuple(self.faults)
+        if self.faults:
+            from repro.faults.schedule import FaultSpec
+            for fault in self.faults:
+                if not isinstance(fault, FaultSpec):
+                    raise ValueError(
+                        f"faults must contain FaultSpec, got {fault!r}")
 
     @property
     def data_slots_per_cycle(self) -> int:

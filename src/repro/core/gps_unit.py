@@ -27,7 +27,6 @@ from repro.core.subscriber import (
     SYNCING,
     SubscriberBase,
 )
-from repro.phy import timing
 from repro.phy.channel import Transmission
 
 
@@ -45,6 +44,8 @@ class GpsSubscriber(SubscriberBase):
         self._pending_report: Optional[GPSPacket] = None
         self._seq = 0
         self._last_tx_time: Optional[float] = None
+        #: Consecutive heard control fields with no GPS slot for us.
+        self._missing_cycles = 0
         self.reports_generated = 0
         self.reports_superseded = 0
         self.sim.process(self._report_process(), name=f"{self.name}-gps")
@@ -57,7 +58,8 @@ class GpsSubscriber(SubscriberBase):
         # Random phase so report arrivals are uncorrelated with slots.
         yield self.sim.timeout(self.rng.uniform(0, self.report_period))
         while True:
-            self._generate_report()
+            if self.alive:
+                self._generate_report()
             yield self.sim.timeout(self.report_period)
 
     def _generate_report(self) -> None:
@@ -89,7 +91,17 @@ class GpsSubscriber(SubscriberBase):
         try:
             slot_index = cf.gps_schedule.index(self.uid)
         except ValueError:
-            return  # not scheduled this cycle (e.g. just signed off)
+            if self.config.liveness_lease_cycles:
+                # Every active GPS user is scheduled every cycle
+                # (Section 2.1), so a missing slot in a *heard* control
+                # field means the base station dropped us.
+                self._missing_cycles += 1
+                if (self._missing_cycles
+                        >= self.config.eviction_detect_cycles):
+                    self._suspect_eviction()
+                    self._attempt_registration(cf, listen_end)
+            return
+        self._missing_cycles = 0
         layout = cf.layout()
         if slot_index >= layout.gps_slots:
             return
@@ -106,9 +118,21 @@ class GpsSubscriber(SubscriberBase):
                 and self._pending_report.created_at < self.sim.now):
             self._pending_report = None
         self._last_tx_time = None
+        self._missing_cycles = 0
+
+    def _on_crashed(self) -> None:
+        # The pending fix dies with the unit; fresh state on restart.
+        self._pending_report = None
+        self._last_tx_time = None
+        self._missing_cycles = 0
+
+    def _on_eviction_suspected(self) -> None:
+        self._missing_cycles = 0
 
     def _transmit_report(self, cycle: int, slot_index: int,
                          start: float) -> None:
+        if not self.alive:
+            return  # crashed between scheduling and the slot
         measured = self.stats.in_measurement(start)
         report = self._pending_report
         fresh_sample = report is None

@@ -9,6 +9,11 @@ request arrived in.
 Capacity limits come from Section 2.1: up to 8 active GPS users and up to
 64 active non-real-time users -- bounded here by the 6-bit user-ID space
 with ID 63 reserved as a sentinel.
+
+Per-service population counts are maintained incrementally (updated in
+:meth:`approve`/:meth:`release`) so admission checks stay O(1) even when
+liveness leases churn the registry every cycle; :meth:`scan_active` is
+the O(n) ground truth the invariant checker compares them against.
 """
 
 from __future__ import annotations
@@ -41,23 +46,32 @@ class RegistrationModule:
         self.max_data_users = max_data_users
         self._by_ein: Dict[int, Registrant] = {}
         self._by_uid: Dict[int, Registrant] = {}
+        self._active_counts: Dict[int, int] = {SERVICE_GPS: 0,
+                                               SERVICE_DATA: 0}
         self.rejected = 0
 
     @property
     def active_gps(self) -> int:
-        return sum(1 for reg in self._by_uid.values()
-                   if reg.service == SERVICE_GPS)
+        return self._active_counts[SERVICE_GPS]
 
     @property
     def active_data(self) -> int:
+        return self._active_counts[SERVICE_DATA]
+
+    def scan_active(self, service: int) -> int:
+        """O(n) recount of one service class (ground truth for audits)."""
         return sum(1 for reg in self._by_uid.values()
-                   if reg.service == SERVICE_DATA)
+                   if reg.service == service)
 
     def lookup_ein(self, ein: int) -> Optional[Registrant]:
         return self._by_ein.get(ein)
 
     def lookup_uid(self, uid: int) -> Optional[Registrant]:
         return self._by_uid.get(uid)
+
+    def registrants(self) -> "list[Registrant]":
+        """A snapshot of every active registry record."""
+        return list(self._by_uid.values())
 
     def approve(self, ein: int, service: int,
                 now: float) -> Optional[Registrant]:
@@ -88,6 +102,7 @@ class RegistrationModule:
                             registered_at=now)
         self._by_ein[ein] = record
         self._by_uid[uid] = record
+        self._active_counts[service] += 1
         return record
 
     def release(self, uid: int) -> Optional[Registrant]:
@@ -95,7 +110,32 @@ class RegistrationModule:
         record = self._by_uid.pop(uid, None)
         if record is not None:
             self._by_ein.pop(record.ein, None)
+            self._active_counts[record.service] -= 1
         return record
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when the registry is inconsistent.
+
+        Verifies the EIN<->UID bijection and that the incremental
+        per-service counters match an O(n) rescan.
+        """
+        if len(self._by_ein) != len(self._by_uid):
+            raise AssertionError(
+                f"registry maps out of sync: {len(self._by_ein)} EINs "
+                f"vs {len(self._by_uid)} UIDs")
+        for uid, record in self._by_uid.items():
+            if record.uid != uid:
+                raise AssertionError(
+                    f"record filed under uid {uid} claims {record.uid}")
+            if self._by_ein.get(record.ein) is not record:
+                raise AssertionError(
+                    f"EIN map does not point back to uid {uid}")
+        for service in (SERVICE_GPS, SERVICE_DATA):
+            if self._active_counts[service] != self.scan_active(service):
+                raise AssertionError(
+                    f"service {service} counter "
+                    f"{self._active_counts[service]} != scan "
+                    f"{self.scan_active(service)}")
 
     def _next_uid(self) -> Optional[int]:
         for uid in range(MAX_ASSIGNABLE_UID + 1):

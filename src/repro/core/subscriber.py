@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Optional, Set, Tuple
 
 from repro.core.config import CellConfig
 from repro.core.fields import ControlFields
@@ -69,6 +69,7 @@ SYNCING = "syncing"
 REGISTERING = "registering"
 ACTIVE = "active"
 FAILED = "failed"
+CRASHED = "crashed"
 
 #: On-air time of a packet inside a reverse data slot (slot minus guard).
 DATA_ON_AIR = timing.DATA_SLOT_TIME - timing.GUARD_TIME
@@ -101,6 +102,13 @@ class SubscriberBase:
         self.radio = HalfDuplexRadio(owner=self.name)
         self.activated_at: Optional[float] = None
         self.forward_channel = forward
+        #: False while crashed: the radio is off, nothing is heard or
+        #: transmitted (fault injection; see ``repro.faults``).
+        self.alive = True
+        self.crashes = 0
+        #: Set on restart / suspected eviction; cleared (and pushed into
+        #: ``stats.recovery_latency_cycles``) when registration completes.
+        self.recovery_started_at: Optional[float] = None
 
         #: Cycle number in which this subscriber must listen to the second
         #: control-field set (because it is transmitting in the previous
@@ -113,7 +121,7 @@ class SubscriberBase:
     # -- forward-channel reception dispatch ------------------------------------
 
     def _on_forward(self, transmission: Transmission, ok: bool) -> None:
-        if self.sim.now < self.entry_time:
+        if not self.alive or self.sim.now < self.entry_time:
             return
         frame: DownlinkFrame = transmission.payload
         if frame.kind in ("cf1", "cf2"):
@@ -180,6 +188,11 @@ class SubscriberBase:
                 self.state = ACTIVE
                 self.activated_at = self.sim.now
                 self._registration = None
+                if self.recovery_started_at is not None:
+                    self.stats.recovery_latency_cycles.push(
+                        (self.sim.now - self.recovery_started_at)
+                        / timing.CYCLE_LENGTH)
+                    self.recovery_started_at = None
                 self._on_activated(cf)
                 return
             pending["cycle"] = None  # attempt failed; retry below
@@ -273,16 +286,80 @@ class SubscriberBase:
         self.radio.claim(TX, start, start + DATA_ON_AIR,
                          f"{frame.kind}@{slot_index}")
         codewords = self._encode_uplink(frame.packet)
-        self.sim.call_at(start, lambda: self.reverse.transmit(
-            Transmission(sender=self.name, payload=frame, start=start,
-                         duration=DATA_ON_AIR, kind=frame.kind,
-                         codewords=codewords),
-            self.reverse_link))
+
+        def fire() -> None:
+            if not self.alive:
+                return  # crashed between scheduling and the slot
+            self.reverse.transmit(
+                Transmission(sender=self.name, payload=frame,
+                             start=start, duration=DATA_ON_AIR,
+                             kind=frame.kind, codewords=codewords),
+                self.reverse_link)
+
+        self.sim.call_at(start, fire)
 
     def begin_registration(self) -> None:
         """Move from SYNCING to REGISTERING (called on first CF heard)."""
         if self.state == SYNCING:
             self.state = REGISTERING
+
+    # -- dynamic faults: crash, restart, eviction recovery ------------------
+
+    def crash(self) -> None:
+        """Power off mid-run: all volatile MAC state is lost.
+
+        The subscriber stops hearing the forward channel and never
+        transmits; already-scheduled slot transmissions are suppressed at
+        fire time.  The base station keeps the registration until the
+        liveness lease expires -- exactly the zombie-state window the
+        fault-injection experiments measure.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.state = CRASHED
+        self.uid = None
+        self._registration = None
+        self._cf2_cycle = None
+        self.recovery_started_at = None
+        self._on_crashed()
+
+    def restart(self) -> None:
+        """Power back on: re-enter the cell from SYNCING (Section 3.2)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.state = SYNCING
+        self.activated_at = None
+        self.recovery_started_at = self.sim.now
+        self._on_restarted()
+
+    def _suspect_eviction(self) -> None:
+        """Assume the base station deregistered us; re-register.
+
+        Safe even on a false alarm: a registration request for an EIN
+        that is still registered returns the existing record, so the
+        subscriber merely re-learns its user ID.
+        """
+        if self.state != ACTIVE:
+            return
+        self.state = REGISTERING
+        self.uid = None
+        self._registration = None
+        self._cf2_cycle = None
+        self.recovery_started_at = self.sim.now
+        self.stats.evictions_detected += 1
+        self._on_eviction_suspected()
+
+    def _on_crashed(self) -> None:
+        """Subclass hook: drop volatile application state."""
+
+    def _on_restarted(self) -> None:
+        """Subclass hook: the subscriber just powered back on."""
+
+    def _on_eviction_suspected(self) -> None:
+        """Subclass hook: reset per-registration transmission state."""
 
     def relocate(self, forward: ForwardChannel, reverse: ReverseChannel,
                  forward_link: Link, reverse_link: Link) -> None:
@@ -326,6 +403,11 @@ class DataSubscriber(SubscriberBase):
         self._seq = 0
         self._backoff_cycles = 0
         self._pending_request: Optional[Dict] = None
+        #: In-flight keys transmitted in *assigned* (non-contention)
+        #: slots; un-ACKed assigned transmissions cannot be collisions,
+        #: so a run of them signals deregistration (or a dead link).
+        self._assigned_keys: Set[Tuple[int, int]] = set()
+        self._assigned_nacks = 0
         self._forward_seq = 0
         self.messages_submitted = 0
         #: Network-layer hook: called with the final DataPacket of each
@@ -352,6 +434,11 @@ class DataSubscriber(SubscriberBase):
         if self.stats.in_measurement(now):
             self.stats.messages_generated += 1
             self.stats.bytes_offered += message.size_bytes
+        if not self.alive:
+            # The device is down; its application cannot buffer.
+            if self.stats.in_measurement(now):
+                self.stats.messages_dropped += 1
+            return
         fragments = message.fragments(PAYLOAD_BYTES)
         if len(self.queue) + fragments > self.config.buffer_packets:
             if self.stats.in_measurement(now):
@@ -388,7 +475,21 @@ class DataSubscriber(SubscriberBase):
         if self.state != ACTIVE:
             return
         self._process_acks(cf)
+        if (self.config.liveness_lease_cycles
+                and self._assigned_nacks
+                >= self.config.eviction_detect_attempts):
+            # Assigned-slot transmissions cannot collide, yet none were
+            # ACKed for several cycles: assume we were deregistered.
+            self._assigned_nacks = 0
+            self._suspect_eviction()
+            self._attempt_registration(cf, listen_end)
+            return
         self._resolve_pending_request(cf)
+        if self.state != ACTIVE:
+            # _resolve_pending_request may have concluded we were
+            # evicted; start re-registering this very cycle.
+            self._attempt_registration(cf, listen_end)
+            return
         my_slots = [index for index, uid
                     in enumerate(cf.reverse_schedule)
                     if uid == self.uid]
@@ -420,6 +521,29 @@ class DataSubscriber(SubscriberBase):
         self._pending_request = None
         self._backoff_cycles = 0
 
+    def _on_crashed(self) -> None:
+        # Volatile buffers are lost with the power.  Every queued or
+        # in-flight message tail counts as a dropped message.
+        for packet in list(self.queue) + list(self.inflight.values()):
+            if (not packet.more
+                    and self.stats.in_measurement(packet.created_at)):
+                self.stats.messages_dropped += 1
+        self.queue.clear()
+        self.inflight.clear()
+        self._assigned_keys.clear()
+        self._assigned_nacks = 0
+        self._pending_request = None
+        self._backoff_cycles = 0
+
+    def _on_eviction_suspected(self) -> None:
+        # Keep the queue (the application state survives) but reset all
+        # per-registration transmission machinery.
+        self._requeue_inflight()
+        self._assigned_keys.clear()
+        self._assigned_nacks = 0
+        self._pending_request = None
+        self._backoff_cycles = 0
+
     # -- ACK processing ------------------------------------------------------------
 
     def _process_acks(self, cf: ControlFields) -> None:
@@ -430,11 +554,17 @@ class DataSubscriber(SubscriberBase):
         for key in pending_keys:
             cycle, slot_index = key
             packet = self.inflight.pop(key)
+            assigned = key in self._assigned_keys
+            self._assigned_keys.discard(key)
             acked = False
             if cycle == prev_cycle:
                 entry = cf.reverse_acks[slot_index]
                 acked = entry.is_data_ack and entry.uid == self.uid
-            if not acked:
+            if acked:
+                self._assigned_nacks = 0
+            else:
+                if assigned and cycle == prev_cycle:
+                    self._assigned_nacks += 1
                 self.queue.appendleft(packet)
 
     def _requeue_inflight(self) -> None:
@@ -455,11 +585,15 @@ class DataSubscriber(SubscriberBase):
     def _transmit_data(self, cycle: int, slot_index: int, start: float,
                        contention: bool,
                        pending: Optional[Dict] = None) -> None:
+        if not self.alive:
+            return  # crashed between scheduling and the slot
         if not self.queue:
             return  # queue drained (e.g. ACKs arrived for everything)
         packet = self.queue.popleft()
         packet.piggyback = min(len(self.queue), MAX_PIGGYBACK)
         self.inflight[(cycle, slot_index)] = packet
+        if not contention:
+            self._assigned_keys.add((cycle, slot_index))
         if self.stats.in_measurement(start):
             self.stats.data_packets_sent += 1
             if contention:
@@ -545,6 +679,13 @@ class DataSubscriber(SubscriberBase):
         next attempt continues the same reservation-latency episode.
         """
         attempts = pending["attempts"]
+        if (self.config.liveness_lease_cycles
+                and attempts >= self.config.eviction_detect_attempts):
+            # A whole episode of contention attempts went unanswered.
+            # Collisions this persistent are unlikely; more likely the
+            # base station evicted us while we were idle.
+            self._suspect_eviction()
+            return
         if pending.get("kind") == KIND_DATA:
             cap = min(2 ** attempts * 2, self.config.data_backoff_cap)
         else:

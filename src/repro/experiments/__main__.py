@@ -25,6 +25,7 @@ from repro.experiments import (
     ablation,
     baselines,
     calibration,
+    chaos,
     fig8_delay,
     fig8_utilization,
     fig9_overhead,
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "fig12b": fig12_gains.run_dynamic_adjustment,
     "registration": registration.run,
     "robustness": robustness.run,
+    "chaos": chaos.run,
     "gps": gps_qos.run,
     "baselines": baselines.run,
     "qos-rqma": qos_baselines.run_rqma,

@@ -1,0 +1,38 @@
+"""Deterministic fault injection and continuous invariant checking.
+
+The robustness story of OSU-MAC (churn, deep fades, silent subscribers)
+is exercised by three cooperating pieces:
+
+* :mod:`repro.faults.schedule` -- declarative, hashable
+  :class:`FaultSpec` events carried inside ``CellConfig.faults`` so that
+  fault scenarios flow through the run engine's cache unchanged.
+* :mod:`repro.faults.injector` -- executes the schedule against a built
+  cell: crashes/restarts subscribers, forces deep-fade windows on
+  selected links, storms control-field codewords.
+* :mod:`repro.faults.invariants` -- a per-cycle monitor asserting the
+  protocol's safety properties (registry bijection, GPS slot
+  consolidation, schedule/registry consistency, radio-timeline
+  legality) while faults are being injected.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.schedule import (
+    FaultSpec,
+    cf_storm,
+    crash,
+    fade,
+    parse_faults,
+    restart,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "InvariantMonitor",
+    "cf_storm",
+    "crash",
+    "fade",
+    "parse_faults",
+    "restart",
+]

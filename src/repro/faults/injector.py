@@ -1,0 +1,170 @@
+"""Execute a fault schedule against a built cell.
+
+The injector is armed at cell-construction time (``build_cell`` creates
+one whenever ``config.faults`` is non-empty) and schedules every fault as
+an ordinary simulator event, so fault runs remain fully deterministic:
+the same config and seed produce bit-identical results regardless of
+worker count.
+
+Faults fire :data:`FAULT_OFFSET` seconds after the nominal cycle start,
+i.e. after the base station has committed that cycle's schedule but
+before any reverse slot opens -- the worst moment for a crash, since the
+station will spend a whole cycle of slots on a subscriber that no longer
+exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import CellConfig
+from repro.faults.schedule import (
+    CHANNEL_FORWARD,
+    CHANNEL_REVERSE,
+    FaultSpec,
+    KIND_CF_STORM,
+    KIND_CRASH,
+    KIND_FADE,
+    KIND_RESTART,
+)
+from repro.metrics import CellStats
+from repro.phy import timing
+from repro.phy.errors import OutageModel
+from repro.sim.core import Simulator
+
+#: Seconds after the nominal cycle start at which faults fire.
+FAULT_OFFSET = 1e-4
+
+
+class FaultInjector:
+    """Arms ``config.faults`` against a cell's live objects."""
+
+    def __init__(self, sim: Simulator, config: CellConfig,
+                 subscribers: Sequence, stats: CellStats):
+        self.sim = sim
+        self.config = config
+        self.subscribers = list(subscribers)
+        self.stats = stats
+        #: Log of fired faults: (time, spec, subscriber name or '*').
+        self.fired: List[Tuple[float, FaultSpec, str]] = []
+        #: link -> its pre-fade error model.
+        self._fade_saved: Dict[int, object] = {}
+        self._fade_links: Dict[int, object] = {}
+        #: link -> absolute time its last fade window closes.
+        self._fade_until: Dict[int, float] = {}
+        #: subscriber name -> cf-storm windows (absolute start, end).
+        self._storm_windows: Dict[str, List[Tuple[float, float]]] = {}
+        self._arm()
+
+    # -- arming ----------------------------------------------------------
+
+    def _targets(self, spec: FaultSpec) -> List:
+        return [sub for sub in self.subscribers
+                if spec.matches(sub.name)]
+
+    def _arm(self) -> None:
+        for spec in self.config.faults:
+            at = spec.at_cycle * timing.CYCLE_LENGTH + FAULT_OFFSET
+            end = ((spec.at_cycle + spec.duration_cycles)
+                   * timing.CYCLE_LENGTH + FAULT_OFFSET)
+            targets = self._targets(spec)
+            if spec.kind == KIND_CRASH:
+                for sub in targets:
+                    self.sim.call_at(at, lambda s=sub, f=spec:
+                                     self._fire_crash(f, s))
+            elif spec.kind == KIND_RESTART:
+                for sub in targets:
+                    self.sim.call_at(at, lambda s=sub, f=spec:
+                                     self._fire_restart(f, s))
+            elif spec.kind == KIND_FADE:
+                self.sim.call_at(at, lambda f=spec, subs=targets,
+                                 until=end: self._fire_fade(
+                                     f, subs, until))
+            elif spec.kind == KIND_CF_STORM:
+                for sub in targets:
+                    self._storm_windows.setdefault(
+                        sub.name, []).append((at, end))
+                self.sim.call_at(at, lambda f=spec:
+                                 self._note(f, "*"))
+        if self._storm_windows:
+            self._wrap_storm_receivers()
+
+    def _note(self, spec: FaultSpec, who: str) -> None:
+        self.stats.faults_injected += 1
+        self.fired.append((self.sim.now, spec, who))
+
+    # -- crash / restart ---------------------------------------------------
+
+    def _fire_crash(self, spec: FaultSpec, sub) -> None:
+        if sub.alive:
+            self._note(spec, sub.name)
+            sub.crash()
+
+    def _fire_restart(self, spec: FaultSpec, sub) -> None:
+        if not sub.alive:
+            self._note(spec, sub.name)
+            sub.restart()
+
+    # -- deep fades --------------------------------------------------------
+
+    def _fade_targets(self, spec: FaultSpec, subs) -> List:
+        links = []
+        for sub in subs:
+            if spec.channel != CHANNEL_REVERSE:
+                links.append(sub.forward_link)
+            if spec.channel != CHANNEL_FORWARD:
+                links.append(sub.reverse_link)
+        return links
+
+    def _fire_fade(self, spec: FaultSpec, subs, until: float) -> None:
+        for sub in subs:
+            self._note(spec, sub.name)
+        for link in self._fade_targets(spec, subs):
+            key = id(link)
+            if key not in self._fade_saved:
+                # First fade on this link: remember the real model.
+                self._fade_saved[key] = link.error_model
+                self._fade_links[key] = link
+            link.error_model = OutageModel(spec.loss)
+            self._fade_until[key] = max(
+                self._fade_until.get(key, 0.0), until)
+            self.sim.call_at(until,
+                             lambda k=key: self._maybe_restore(k))
+
+    def _maybe_restore(self, key: int) -> None:
+        # Overlapping windows extend ``_fade_until``; only the event
+        # matching the furthest window end actually restores the model.
+        if key not in self._fade_saved:
+            return
+        if self.sim.now + 1e-9 < self._fade_until[key]:
+            return
+        link = self._fade_links.pop(key)
+        link.error_model = self._fade_saved.pop(key)
+        self._fade_until.pop(key, None)
+
+    # -- control-field storms ---------------------------------------------
+
+    def _wrap_storm_receivers(self) -> None:
+        """Interpose on targeted subscribers' forward-link callbacks.
+
+        A storm destroys control-field codewords on the victim's link;
+        data slots in the same window are left alone (the paper's CF
+        sets are longer and more exposed than single data packets, and
+        the interesting failure mode is losing the *schedule*).
+        """
+        for sub in self.subscribers:
+            windows = self._storm_windows.get(sub.name)
+            if not windows:
+                continue
+            channel = sub.forward_channel
+            original = channel._receivers[sub.ein][1]
+
+            def stormed(transmission, ok, _orig=original, _win=windows):
+                if (ok and transmission.kind in ("cf1", "cf2")
+                        and any(start <= transmission.start < end
+                                for start, end in _win)):
+                    self.stats.cf_storm_drops += 1
+                    ok = False
+                _orig(transmission, ok)
+
+            channel.attach(sub.ein, sub.forward_link, stormed)

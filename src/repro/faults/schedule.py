@@ -1,0 +1,153 @@
+"""Declarative fault schedules.
+
+A fault scenario is a tuple of :class:`FaultSpec` values stored in
+``CellConfig.faults``.  Specs are frozen dataclasses of primitives, so a
+config carrying them stays hashable and the run engine's content-hash
+cache keys them exactly like any other parameter.
+
+This module is deliberately standalone (no imports from ``repro.core``):
+``CellConfig`` validates its ``faults`` field against :class:`FaultSpec`
+lazily, and a module-level import in either direction would be circular.
+
+Fault kinds
+-----------
+
+``crash``
+    The targeted subscribers power off at the given cycle: volatile MAC
+    and application state is lost, nothing is heard or transmitted.
+``restart``
+    Crashed targets power back on and re-enter the cell from SYNCING.
+``fade``
+    A deep-fade window: for ``duration_cycles`` cycles the targets'
+    links lose each codeword with probability ``loss`` (the original
+    error model is restored when the window closes).
+``cf_storm``
+    Control-field sets broadcast during the window are destroyed on the
+    targets' forward links -- the "every subscriber misses the
+    schedule" worst case of Section 3.4.
+
+Targets are ``fnmatch`` patterns over subscriber names (``data-0``,
+``gps-*``, ``*``); names follow ``repro.core.cell`` conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Tuple
+
+KIND_CRASH = "crash"
+KIND_RESTART = "restart"
+KIND_FADE = "fade"
+KIND_CF_STORM = "cf_storm"
+
+KINDS = (KIND_CRASH, KIND_RESTART, KIND_FADE, KIND_CF_STORM)
+
+CHANNEL_FORWARD = "forward"
+CHANNEL_REVERSE = "reverse"
+CHANNEL_BOTH = "both"
+
+CHANNELS = (CHANNEL_FORWARD, CHANNEL_REVERSE, CHANNEL_BOTH)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault event.
+
+    ``at_cycle`` counts notification cycles from the start of the run;
+    the event fires just after that cycle's first control-field set
+    begins, so the current cycle's schedule is already committed.
+    """
+
+    kind: str
+    at_cycle: int
+    target: str = "*"
+    #: Window length for ``fade``/``cf_storm`` (ignored otherwise).
+    duration_cycles: int = 1
+    #: Per-codeword loss probability inside a ``fade`` window.
+    loss: float = 1.0
+    #: Which links a ``fade`` hits: 'forward', 'reverse' or 'both'.
+    channel: str = CHANNEL_BOTH
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at_cycle < 0:
+            raise ValueError("at_cycle must be non-negative")
+        if self.duration_cycles < 1:
+            raise ValueError("duration_cycles must be >= 1")
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError("loss must be in [0, 1]")
+        if self.channel not in CHANNELS:
+            raise ValueError(f"unknown channel {self.channel!r}")
+
+    def matches(self, name: str) -> bool:
+        """Does this fault target the subscriber called ``name``?"""
+        return fnmatchcase(name, self.target)
+
+
+# -- convenience builders ---------------------------------------------------
+
+def crash(target: str, at_cycle: int) -> FaultSpec:
+    return FaultSpec(kind=KIND_CRASH, at_cycle=at_cycle, target=target)
+
+
+def restart(target: str, at_cycle: int) -> FaultSpec:
+    return FaultSpec(kind=KIND_RESTART, at_cycle=at_cycle, target=target)
+
+
+def fade(target: str, at_cycle: int, duration_cycles: int = 1,
+         loss: float = 1.0, channel: str = CHANNEL_BOTH) -> FaultSpec:
+    return FaultSpec(kind=KIND_FADE, at_cycle=at_cycle, target=target,
+                     duration_cycles=duration_cycles, loss=loss,
+                     channel=channel)
+
+
+def cf_storm(at_cycle: int, duration_cycles: int = 1,
+             target: str = "*") -> FaultSpec:
+    return FaultSpec(kind=KIND_CF_STORM, at_cycle=at_cycle,
+                     target=target, duration_cycles=duration_cycles)
+
+
+# -- CLI parser ---------------------------------------------------------------
+
+def parse_faults(text: str) -> Tuple[FaultSpec, ...]:
+    """Parse a compact fault-schedule string.
+
+    Grammar (entries separated by ``,`` or ``;``)::
+
+        kind:target@cycle[+duration][*loss]
+
+    Examples::
+
+        crash:data-0@40
+        crash:data-0@40;restart:data-0@52
+        fade:gps-*@60+4*0.9
+        cf_storm:*@70+2
+    """
+    specs = []
+    for raw in text.replace(";", ",").split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        try:
+            kind, rest = entry.split(":", 1)
+            target, when = rest.rsplit("@", 1)
+            loss = 1.0
+            if "*" in when:
+                when, loss_text = when.split("*", 1)
+                loss = float(loss_text)
+            duration = 1
+            if "+" in when:
+                when, duration_text = when.split("+", 1)
+                duration = int(duration_text)
+            spec = FaultSpec(kind=kind.strip(), at_cycle=int(when),
+                             target=target.strip(),
+                             duration_cycles=duration, loss=loss)
+        except (ValueError, TypeError) as exc:
+            raise ValueError(
+                f"bad fault entry {entry!r} "
+                f"(expected kind:target@cycle[+duration][*loss]): {exc}"
+            ) from exc
+        specs.append(spec)
+    return tuple(specs)

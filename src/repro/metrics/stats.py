@@ -128,6 +128,21 @@ class CellStats:
         default_factory=SummaryStats)
     registrations_completed: int = 0
     registrations_failed: int = 0
+    #: Admission failures, split by cause so chaos tables can report
+    #: admission pressure instead of hiding it.
+    registrations_rejected_capacity: int = 0
+    registrations_rejected_gps_slot: int = 0
+
+    # -- robustness: faults, leases, recovery (not warmup-gated) -----------
+    faults_injected: int = 0
+    lease_evictions: int = 0  # base station: lease expired, deregistered
+    evictions_detected: int = 0  # subscribers: noticed and re-registered
+    unknown_uid_drops: int = 0  # uplink from a UID not in the registry
+    cf_storm_drops: int = 0  # control-field sets killed by a CF storm
+    invariant_violations: int = 0  # from repro.faults.invariants
+    #: Restart/eviction -> re-registered latency, in notification cycles.
+    recovery_latency_cycles: SummaryStats = field(
+        default_factory=SummaryStats)
 
     # -- GPS ----------------------------------------------------------------
     gps_packets_sent: int = 0
@@ -246,4 +261,16 @@ class CellStats:
             "gps_max_access_delay": self.gps_access_delay.max or 0.0,
             "gps_deadline_misses": float(self.gps_deadline_misses),
             "radio_violations": float(self.radio_violations),
+            "messages_dropped": float(self.messages_dropped),
+            "registrations_rejected": float(
+                self.registrations_rejected_capacity
+                + self.registrations_rejected_gps_slot),
+            "lease_evictions": float(self.lease_evictions),
+            "faults_injected": float(self.faults_injected),
+            "evictions_detected": float(self.evictions_detected),
+            "recoveries": float(self.recovery_latency_cycles.count),
+            "mean_recovery_cycles": self.recovery_latency_cycles.mean,
+            "max_recovery_cycles":
+                self.recovery_latency_cycles.max or 0.0,
+            "invariant_violations": float(self.invariant_violations),
         }
