@@ -77,6 +77,23 @@ def _cell_config(args: argparse.Namespace) -> CellConfig:
         dynamic_slot_adjustment=not args.no_dynamic_adjustment)
 
 
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-point wall-clock limit in seconds "
+                             "(parallel executor; REPRO_TIMEOUT)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="extra attempts for failed or timed-out "
+                             "points (REPRO_RETRIES)")
+    parser.add_argument("--resume", action="store_true",
+                        help="checkpoint the grid to a journal and "
+                             "resume an interrupted run "
+                             "(REPRO_RESUME=1)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first exhausted point "
+                             "(REPRO_FAIL_FAST=1)")
+
+
 def _command_run(args: argparse.Namespace) -> int:
     config = _cell_config(args)
     run = run_cell_detailed(config)
@@ -151,12 +168,24 @@ def _command_experiments(args: argparse.Namespace) -> int:
         forwarded.extend(["--jobs", str(args.jobs)])
     if args.no_cache:
         forwarded.append("--no-cache")
+    if args.timeout is not None:
+        forwarded.extend(["--timeout", str(args.timeout)])
+    if args.retries is not None:
+        forwarded.extend(["--retries", str(args.retries)])
+    if args.resume:
+        forwarded.append("--resume")
+    if args.fail_fast:
+        forwarded.append("--fail-fast")
     return experiments_main(forwarded)
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
     """An ad-hoc engine load sweep straight from the command line."""
-    from repro.engine import telemetry
+    from repro.engine import (
+        PointFailureError,
+        resolve_policy,
+        telemetry,
+    )
     from repro.experiments.runner import PAPER_LOADS, sweep_loads
 
     try:
@@ -168,12 +197,22 @@ def _command_sweep(args: argparse.Namespace) -> int:
               f"got --loads {args.loads!r} --seeds {args.seeds!r}",
               file=sys.stderr)
         return 2
+    policy = resolve_policy(
+        timeout_s=args.timeout, retries=args.retries,
+        resume=args.resume or None,
+        fail_fast=args.fail_fast or None)
     telemetry.reset()
-    points = sweep_loads(
-        loads=loads, seeds=seeds,
-        num_data_users=args.data_users, num_gps_users=args.gps_users,
-        cycles=args.cycles, warmup_cycles=args.warmup,
-        jobs=args.jobs, cache=False if args.no_cache else None)
+    try:
+        points = sweep_loads(
+            loads=loads, seeds=seeds,
+            num_data_users=args.data_users,
+            num_gps_users=args.gps_users,
+            cycles=args.cycles, warmup_cycles=args.warmup,
+            jobs=args.jobs, cache=False if args.no_cache else None,
+            policy=policy)
+    except PointFailureError as error:
+        print(f"sweep aborted by --fail-fast: {error}", file=sys.stderr)
+        return 1
     if args.json:
         print(json.dumps(points, indent=2))
     else:
@@ -184,6 +223,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
                   f"loss={point['message_loss_rate']:.3f} "
                   f"fairness={point['fairness']:.3f}")
     print(telemetry.format(), file=sys.stderr)
+    failures = telemetry.failures
+    if failures:
+        print(json.dumps({"failed_points": [failure.to_json()
+                                            for failure in failures]},
+                         indent=2), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -220,6 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     experiments_parser.add_argument("--list", action="store_true")
     experiments_parser.add_argument("--jobs", type=int, default=None)
     experiments_parser.add_argument("--no-cache", action="store_true")
+    _add_resilience_arguments(experiments_parser)
     experiments_parser.set_defaults(handler=_command_experiments)
 
     sweep_parser = subparsers.add_parser(
@@ -235,6 +281,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep_parser.add_argument("--warmup", type=int, default=30)
     sweep_parser.add_argument("--jobs", type=int, default=None)
     sweep_parser.add_argument("--no-cache", action="store_true")
+    _add_resilience_arguments(sweep_parser)
     sweep_parser.add_argument("--json", action="store_true")
     sweep_parser.set_defaults(handler=_command_sweep)
 

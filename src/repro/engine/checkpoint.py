@@ -1,0 +1,99 @@
+"""Checkpoint journals: killed sweeps resume instead of restarting.
+
+A :class:`SweepJournal` records every completed point of one spec as a
+single JSON line ``{"key": <point_key>, "value": ...}``, appended and
+flushed the moment the point finishes.  A sweep killed at any instant
+-- including SIGKILL, which never reaches Python -- therefore loses at
+most the points still in flight; ``execute(..., resume=True)`` (CLI
+``--resume`` / ``REPRO_RESUME=1``) replays the matching lines instead
+of recomputing them and keeps journaling the rest.
+
+Layout: journals live under ``<cache-dir>/journal/`` (override with
+``REPRO_JOURNAL_DIR``), one ``<spec>-<grid-digest>.jsonl`` file per
+(spec name, grid fingerprint).  The grid digest hashes the full list of
+point keys -- which already fingerprint config *and* package source --
+so resuming after a config, grid, or code change starts a fresh journal
+rather than replaying stale values.  A torn final line from a mid-write
+kill is skipped on load, and a journal is deleted once its sweep
+finishes with no failures (the result cache, when enabled, still holds
+the values).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional, Sequence, TextIO
+
+
+def default_journal_dir() -> str:
+    env = os.environ.get("REPRO_JOURNAL_DIR", "").strip()
+    if env:
+        return env
+    from repro.engine.cache import default_cache_dir
+
+    return os.path.join(default_cache_dir(), "journal")
+
+
+class SweepJournal:
+    """Crash-safe completed-point journal for one spec grid."""
+
+    def __init__(self, name: str, keys: Sequence[str],
+                 root: Optional[str] = None):
+        self.root = root or default_journal_dir()
+        digest = hashlib.sha256(
+            "\n".join(keys).encode("utf-8")).hexdigest()[:16]
+        safe = "".join(ch if ch.isalnum() or ch in "-_" else "-"
+                       for ch in name)
+        self.path = os.path.join(self.root, f"{safe}-{digest}.jsonl")
+        self._keys = frozenset(keys)
+        self._handle: Optional[TextIO] = None
+
+    def load(self) -> Dict[str, Any]:
+        """Completed ``key -> value`` entries belonging to this grid."""
+        entries: Dict[str, Any] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail from a mid-write kill
+                    if not isinstance(record, dict):
+                        continue
+                    key = record.get("key")
+                    if key in self._keys:
+                        entries[key] = record.get("value")
+        except OSError:
+            return {}
+        return entries
+
+    def append(self, key: str, value: Any) -> bool:
+        """Journal one completed point (no-op for non-JSON values)."""
+        try:
+            line = json.dumps({"key": key, "value": value})
+        except (TypeError, ValueError):
+            return False  # recomputed on resume instead
+        if self._handle is None:
+            os.makedirs(self.root, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(line + "\n")
+        # Push the line to the OS so even SIGKILL can't lose it.
+        self._handle.flush()
+        return True
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def discard(self) -> None:
+        """Remove the journal (its sweep finished cleanly)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

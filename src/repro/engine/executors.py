@@ -1,36 +1,161 @@
-"""Pluggable point executors: serial and process-pool parallel.
+"""Pluggable point executors: serial and fault-tolerant process pool.
 
 Both executors evaluate the same list of ``(fn, config)`` tasks and
-return ``(value, seconds)`` pairs in task order.  Because every point
-carries its own seed and builds its own simulation, the parallel
-executor is bit-identical to the serial one -- the process pool only
-changes *where* each point runs, never what it computes.
+return per-point :class:`PointOutcome` records in task order.  Because
+every point carries its own seed and builds its own simulation, the
+parallel executor is bit-identical to the serial one -- the process
+pool only changes *where* each point runs, never what it computes, and
+re-running a point after a worker crash recomputes the same value.
+
+Resilience (driven by :class:`~repro.engine.policy.RunPolicy`):
+
+* **retries** -- a point that raises is retried with exponential
+  backoff until its attempt budget (``1 + retries``) is spent, then
+  salvaged as a structured :class:`~repro.engine.policy.PointFailure`
+  (or raised immediately under ``fail_fast``).
+* **timeouts** (parallel only) -- a point running longer than
+  ``timeout_s`` is charged a failed attempt, its hung workers are
+  killed, and the pool is respawned; unaffected in-flight points are
+  re-run for free.
+* **worker-crash recovery** -- a ``BrokenProcessPool`` (a worker died
+  mid-point) respawns the pool and resubmits only the lost points,
+  preserving submission-order results.  Respawns are bounded by
+  ``respawn_slack + len(tasks)`` so a task that kills its worker on
+  every attempt cannot loop forever.
+* **Ctrl-C** -- on ``KeyboardInterrupt`` the pool is shut down with
+  ``cancel_futures=True`` so queued points do not keep the process
+  alive after the interrupt.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.engine.policy import (
+    FAILURE_CRASH,
+    FAILURE_EXCEPTION,
+    FAILURE_TIMEOUT,
+    PointFailure,
+    PointFailureError,
+    RunPolicy,
+)
 
 Task = Tuple[Callable[[Any], Any], Any]
 
+#: Poll interval of the parallel supervision loop (seconds).
+TICK_S = 0.05
 
-def invoke(fn: Callable[[Any], Any], config: Any) -> Tuple[Any, float]:
-    """Run one task, timing it in the process that executes it."""
+
+def invoke(fn: Callable[[Any], Any], config: Any,
+           attempt: int = 1) -> Tuple[Any, float]:
+    """Run one task, timing it in the process that executes it.
+
+    Tasks that declare ``wants_attempt = True`` (e.g. the executor
+    fault injector, :mod:`repro.engine.faultsim`) also receive the
+    1-based attempt number.
+    """
     started = time.perf_counter()
-    value = fn(config)
+    if getattr(fn, "wants_attempt", False):
+        value = fn(config, attempt)
+    else:
+        value = fn(config)
     return value, time.perf_counter() - started
 
 
+@dataclass
+class PointOutcome:
+    """What happened to one task: a value or a structured failure."""
+
+    index: int
+    value: Any = None
+    seconds: float = 0.0
+    attempts: int = 1
+    failure: Optional[PointFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@dataclass
+class MapReport:
+    """One ``map`` call's outcomes plus resilience accounting."""
+
+    outcomes: List[PointOutcome] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    respawns: int = 0
+
+    @property
+    def failures(self) -> List[PointFailure]:
+        return [outcome.failure for outcome in self.outcomes
+                if outcome.failure is not None]
+
+
 class SerialExecutor:
-    """In-process, one point at a time."""
+    """In-process, one point at a time (retries; no preemption)."""
 
     jobs = 1
 
-    def map(self, tasks: Sequence[Task]) -> List[Tuple[Any, float]]:
-        return [invoke(fn, config) for fn, config in tasks]
+    def map(self, tasks: Sequence[Task],
+            policy: Optional[RunPolicy] = None,
+            on_outcome: Optional[Callable[[PointOutcome], None]] = None,
+            ) -> MapReport:
+        policy = policy or RunPolicy()
+        report = MapReport()
+        for index, (fn, config) in enumerate(tasks):
+            outcome = self._run_point(index, fn, config, policy, report)
+            report.outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            if outcome.failure is not None and policy.fail_fast:
+                raise PointFailureError(outcome.failure)
+        return report
+
+    @staticmethod
+    def _run_point(index: int, fn: Callable[[Any], Any], config: Any,
+                   policy: RunPolicy, report: MapReport) -> PointOutcome:
+        begun = time.monotonic()
+        error: Optional[BaseException] = None
+        for attempt in range(1, policy.attempts + 1):
+            try:
+                value, seconds = invoke(fn, config, attempt)
+            except Exception as exc:
+                error = exc
+                if attempt < policy.attempts:
+                    report.retries += 1
+                    delay = policy.backoff(attempt)
+                    if delay:
+                        time.sleep(delay)
+            else:
+                return PointOutcome(index=index, value=value,
+                                    seconds=seconds, attempts=attempt)
+        return PointOutcome(
+            index=index, attempts=policy.attempts,
+            failure=PointFailure(
+                index=index, kind=FAILURE_EXCEPTION,
+                error=type(error).__name__, message=str(error),
+                attempts=policy.attempts,
+                elapsed_s=time.monotonic() - begun))
 
 
 class ParallelExecutor:
@@ -38,7 +163,8 @@ class ParallelExecutor:
 
     Task functions must be module-level (picklable by reference) and
     configs must be picklable -- true for every experiment task in
-    :mod:`repro.experiments`.
+    :mod:`repro.experiments`.  Crash, hang, and exception handling are
+    delegated to a per-call :class:`_PoolSupervisor`.
     """
 
     def __init__(self, jobs: int):
@@ -47,14 +173,252 @@ class ParallelExecutor:
                              "use SerialExecutor for jobs=1")
         self.jobs = jobs
 
-    def map(self, tasks: Sequence[Task]) -> List[Tuple[Any, float]]:
+    def map(self, tasks: Sequence[Task],
+            policy: Optional[RunPolicy] = None,
+            on_outcome: Optional[Callable[[PointOutcome], None]] = None,
+            ) -> MapReport:
+        policy = policy or RunPolicy()
         if not tasks:
-            return []
-        workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(invoke, fn, config)
-                       for fn, config in tasks]
-            return [future.result() for future in futures]
+            return MapReport()
+        supervisor = _PoolSupervisor(self.jobs, list(tasks), policy,
+                                     on_outcome)
+        return supervisor.run()
+
+
+class _PoolSupervisor:
+    """Drives one parallel ``map``: submissions, retries, respawns."""
+
+    def __init__(self, jobs: int, tasks: List[Task], policy: RunPolicy,
+                 on_outcome: Optional[Callable[[PointOutcome], None]]):
+        count = len(tasks)
+        self.jobs = min(jobs, count)
+        self.tasks = tasks
+        self.policy = policy
+        self.on_outcome = on_outcome
+        self.report = MapReport(outcomes=[])
+        self.done: List[Optional[PointOutcome]] = [None] * count
+        self.remaining = count
+        #: Total submissions per point (also the 1-based attempt number
+        #: that ``invoke`` passes through to attempt-aware tasks).
+        self.submits = [0] * count
+        #: Attempts charged against the retry budget (exceptions and
+        #: timeouts; crash-lost runs are re-run for free).
+        self.charged = [0] * count
+        self.last_error: List[Tuple[str, str, str]] = \
+            [("", "", "")] * count
+        self.begun = [0.0] * count
+        self.ready = deque(range(count))
+        #: min-heap of ``(due_monotonic, index)`` backoff waits.
+        self.delayed: List[Tuple[float, int]] = []
+        self.pending: Dict[Any, int] = {}
+        #: future -> monotonic time it was first observed running.
+        self.running_since: Dict[Any, float] = {}
+        self.respawn_budget = policy.respawn_slack + count
+        self.pool: Optional[ProcessPoolExecutor] = None
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self) -> MapReport:
+        self.pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            while self.remaining:
+                self._promote_due()
+                self._submit_ready()
+                if not self.pending:
+                    self._sleep_until_due()
+                    continue
+                self._reap()
+                self._check_timeouts()
+            self.report.outcomes = list(self.done)
+            return self.report
+        except KeyboardInterrupt:
+            # Cancel queued points so they don't keep the process
+            # alive after the interrupt; running ones get the signal
+            # themselves when it came from the terminal.
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            if self.pool is not None:
+                self.pool.shutdown(wait=False, cancel_futures=True)
+
+    def _promote_due(self) -> None:
+        now = time.monotonic()
+        while self.delayed and self.delayed[0][0] <= now:
+            _, index = heapq.heappop(self.delayed)
+            self.ready.append(index)
+
+    def _submit_ready(self) -> None:
+        while self.ready:
+            index = self.ready.popleft()
+            if not self.begun[index]:
+                self.begun[index] = time.monotonic()
+            fn, config = self.tasks[index]
+            try:
+                future = self.pool.submit(invoke, fn, config,
+                                          self.submits[index] + 1)
+            except BrokenProcessPool:
+                # The pool died between reaps; treat this point as
+                # crash-lost and retry the submission on a fresh pool.
+                self._respawn([index])
+                continue
+            self.submits[index] += 1
+            self.pending[future] = index
+
+    def _sleep_until_due(self) -> None:
+        if not self.delayed:
+            return
+        pause = self.delayed[0][0] - time.monotonic()
+        if pause > 0:
+            time.sleep(pause)
+
+    def _tick(self) -> Optional[float]:
+        tick: Optional[float] = None
+        if self.policy.timeout_s is not None:
+            tick = min(TICK_S, max(self.policy.timeout_s / 4, 0.01))
+        if self.delayed:
+            until = max(0.001, self.delayed[0][0] - time.monotonic())
+            tick = until if tick is None else min(tick, until)
+        return tick
+
+    # -- result collection -----------------------------------------------
+
+    def _reap(self) -> None:
+        completed, _ = wait(set(self.pending), timeout=self._tick(),
+                            return_when=FIRST_COMPLETED)
+        broken = False
+        crash_lost: List[int] = []
+        for future in completed:
+            index = self.pending.pop(future)
+            self.running_since.pop(future, None)
+            try:
+                value, seconds = future.result()
+            except BrokenProcessPool:
+                broken = True
+                crash_lost.append(index)
+            except Exception as exc:
+                self._attempt_failed(index, FAILURE_EXCEPTION,
+                                     type(exc).__name__, str(exc))
+            else:
+                self._complete(index, value, seconds)
+        if broken:
+            # Every other in-flight point is doomed with the pool;
+            # collect them all and re-run on a fresh pool.
+            crash_lost.extend(self.pending.values())
+            self.pending.clear()
+            self.running_since.clear()
+            self._respawn(crash_lost)
+        elif self.policy.timeout_s is not None:
+            # Start timeout clocks for executing points.  The executor
+            # marks futures RUNNING as soon as they enter its call
+            # queue, slightly ahead of real execution, so only the
+            # oldest ``jobs`` running futures are clocked -- at most
+            # that many can truly be executing.
+            now = time.monotonic()
+            slots = self.jobs
+            for future in self.pending:  # insertion = submission order
+                if slots <= 0:
+                    break
+                if future.running():
+                    if future not in self.running_since:
+                        self.running_since[future] = now
+                    slots -= 1
+
+    def _check_timeouts(self) -> None:
+        limit = self.policy.timeout_s
+        if limit is None or not self.running_since:
+            return
+        now = time.monotonic()
+        expired = [future for future, since in self.running_since.items()
+                   if now - since > limit]
+        if not expired:
+            return
+        self.report.timeouts += len(expired)
+        for future in expired:
+            index = self.pending.pop(future)
+            self.running_since.pop(future, None)
+            self._attempt_failed(
+                index, FAILURE_TIMEOUT, "PointTimeout",
+                f"exceeded the {limit:g}s per-point wall-clock limit")
+        # A hung worker can only be reclaimed by killing it; that
+        # breaks the pool, so the other in-flight points are re-run
+        # for free on the respawned pool.
+        self._kill_workers()
+        lost = list(self.pending.values())
+        self.pending.clear()
+        self.running_since.clear()
+        self._respawn(lost, charge_budget=False)
+
+    def _complete(self, index: int, value: Any, seconds: float) -> None:
+        self._store(PointOutcome(index=index, value=value,
+                                 seconds=seconds,
+                                 attempts=self.submits[index]))
+
+    def _attempt_failed(self, index: int, kind: str, error: str,
+                        message: str) -> None:
+        self.charged[index] += 1
+        self.last_error[index] = (kind, error, message)
+        if self.charged[index] >= self.policy.attempts:
+            self._finalize_failure(index)
+        else:
+            self.report.retries += 1
+            due = time.monotonic() + self.policy.backoff(
+                self.charged[index])
+            heapq.heappush(self.delayed, (due, index))
+
+    def _finalize_failure(self, index: int) -> None:
+        kind, error, message = self.last_error[index]
+        attempts = max(1, self.submits[index])
+        outcome = PointOutcome(
+            index=index, attempts=attempts,
+            failure=PointFailure(
+                index=index, kind=kind, error=error, message=message,
+                attempts=attempts,
+                elapsed_s=time.monotonic() - self.begun[index]))
+        self._store(outcome)
+        if self.policy.fail_fast:
+            raise PointFailureError(outcome.failure)
+
+    def _store(self, outcome: PointOutcome) -> None:
+        if self.done[outcome.index] is not None:
+            return
+        self.done[outcome.index] = outcome
+        self.remaining -= 1
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _respawn(self, lost: Sequence[int],
+                 charge_budget: bool = True) -> None:
+        """Replace the broken pool; requeue or finalize lost points."""
+        self.report.respawns += 1
+        if charge_budget:
+            self.respawn_budget -= 1
+        requeue = self.respawn_budget >= 0
+        for index in lost:
+            self.last_error[index] = (
+                FAILURE_CRASH, "BrokenProcessPool",
+                "worker process died before the point finished")
+            if requeue:
+                self.ready.append(index)
+            else:
+                self._finalize_failure(index)
+        old, self.pool = self.pool, None
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+        self.pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+    def _kill_workers(self) -> None:
+        # ``ProcessPoolExecutor`` exposes no public way to preempt a
+        # worker; killing the processes flips the pool into the same
+        # broken state a worker crash produces, which ``_respawn``
+        # already recovers from.
+        processes = getattr(self.pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:

@@ -10,6 +10,17 @@ Because points are self-contained (each carries its own seed inside its
 config), serial and parallel execution of the same spec produce
 bit-identical results, and a cached value is indistinguishable from a
 recomputed one.
+
+Fault tolerance: ``execute`` resolves a
+:class:`~repro.engine.policy.RunPolicy` (per-point timeouts, retries,
+fail-fast, resume) from its arguments, the CLI-installed default, or
+the ``REPRO_*`` environment.  Completed points are persisted to the
+cache and, under ``resume=True``, to a crash-safe checkpoint journal
+*as they finish*, so a killed sweep recomputes only unfinished points.
+Points that exhaust their attempts are salvaged as
+:class:`~repro.engine.policy.PointFailure` records on the
+:class:`RunResult` (and skipped by the reducer) instead of aborting
+the sweep.
 """
 
 from __future__ import annotations
@@ -19,8 +30,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import resolve_cache
-from repro.engine.executors import get_executor
+from repro.engine.checkpoint import SweepJournal
+from repro.engine.executors import MapReport, PointOutcome, get_executor
 from repro.engine.hashing import point_key
+from repro.engine.policy import PointFailure, RunPolicy, resolve_policy
 from repro.engine.telemetry import EngineStats, telemetry
 
 
@@ -55,70 +68,147 @@ class RunSpec:
 
 @dataclass
 class RunResult:
-    """What ``execute`` returns: raw values, reduction, accounting."""
+    """What ``execute`` returns: raw values, reduction, accounting.
+
+    ``values`` is aligned with ``spec.points``; a point that exhausted
+    its attempts holds ``None`` there and a :class:`PointFailure` in
+    ``failures`` (the reducer only ever sees the successful points).
+    """
 
     spec: RunSpec
     values: List[Any]
     stats: EngineStats
     reduced: Any = None
+    failures: List[PointFailure] = field(default_factory=list)
+
+    def failure_report(self) -> Dict[str, Any]:
+        """The structured partial-failure report for this run."""
+        return {
+            "spec": self.spec.name,
+            "points": len(self.spec.points),
+            "failed": [failure.to_json() for failure in self.failures],
+        }
 
 
 def execute(spec: RunSpec,
             jobs: Optional[int] = None,
             cache: Any = None,
-            cache_dir: Optional[str] = None) -> RunResult:
+            cache_dir: Optional[str] = None,
+            policy: Optional[RunPolicy] = None,
+            timeout_s: Optional[float] = None,
+            retries: Optional[int] = None,
+            fail_fast: Optional[bool] = None,
+            resume: Optional[bool] = None) -> RunResult:
     """Evaluate every point of ``spec`` and reduce.
 
     ``jobs``: 1 = serial (default), N >= 2 = process pool; ``None``
     falls back to the ``REPRO_JOBS`` environment variable.  ``cache``:
     ``None`` = on unless ``REPRO_CACHE=0``, ``False`` = off, ``True`` or
     a :class:`~repro.engine.cache.ResultCache` = on.
+
+    ``policy`` (or the ``timeout_s``/``retries``/``fail_fast``/
+    ``resume`` shorthands) controls fault tolerance; unset knobs fall
+    back to the CLI default and the ``REPRO_*`` environment (see
+    :mod:`repro.engine.policy`).
     """
     started = time.perf_counter()
+    run_policy = resolve_policy(policy, timeout_s=timeout_s,
+                                retries=retries, fail_fast=fail_fast,
+                                resume=resume)
     executor = get_executor(jobs)
     store = resolve_cache(cache, cache_dir)
 
     count = len(spec.points)
     values: List[Any] = [None] * count
     seconds: List[float] = [0.0] * count
-    pending: List[int] = []
-    keys: List[Optional[str]] = [None] * count
+    keys = [point_key(point.fn, point.config)
+            for point in spec.points]
 
-    if store is not None:
-        for index, point in enumerate(spec.points):
-            key = point_key(point.fn, point.config)
-            keys[index] = key
+    journal: Optional[SweepJournal] = None
+    restored: Dict[str, Any] = {}
+    if run_policy.resume:
+        journal = SweepJournal(spec.name, keys)
+        restored = journal.load()
+
+    quarantined_before = store.quarantined if store is not None else 0
+    pending: List[int] = []
+    resumed = 0
+    for index, key in enumerate(keys):
+        if store is not None:
             hit, value = store.get(key)
             if hit:
                 values[index] = value
-            else:
-                pending.append(index)
-    else:
-        pending = list(range(count))
+                continue
+        if key in restored:
+            values[index] = restored[key]
+            resumed += 1
+            continue
+        pending.append(index)
 
+    report = MapReport()
     if pending:
-        computed = executor.map(
-            [(spec.points[index].fn, spec.points[index].config)
-             for index in pending])
-        for index, (value, elapsed) in zip(pending, computed):
-            values[index] = value
-            seconds[index] = elapsed
-            if store is not None and keys[index] is not None:
-                store.put(keys[index], value)
+
+        def on_outcome(outcome: PointOutcome) -> None:
+            # Runs in this process the moment a point resolves, so
+            # completed work survives a kill arriving mid-sweep.
+            grid_index = pending[outcome.index]
+            if outcome.failure is not None:
+                outcome.failure.index = grid_index
+                outcome.failure.key = keys[grid_index]
+                outcome.failure.label = \
+                    dict(spec.points[grid_index].label)
+                return
+            values[grid_index] = outcome.value
+            seconds[grid_index] = outcome.seconds
+            if store is not None:
+                store.put(keys[grid_index], outcome.value)
+            if journal is not None:
+                journal.append(keys[grid_index], outcome.value)
+
+        tasks = [(spec.points[index].fn, spec.points[index].config)
+                 for index in pending]
+        try:
+            report = executor.map(tasks, policy=run_policy,
+                                  on_outcome=on_outcome)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    failures = report.failures
+    if journal is not None:
+        journal.close()
+        if not failures:
+            journal.discard()
 
     stats = EngineStats(
         spec=spec.name,
         points=count,
         executed=len(pending),
-        cache_hits=count - len(pending),
+        cache_hits=count - len(pending) - resumed,
         jobs=executor.jobs,
+        resumed=resumed,
+        retries=report.retries,
+        timeouts=report.timeouts,
+        respawns=report.respawns,
+        quarantined=(store.quarantined - quarantined_before
+                     if store is not None else 0),
+        failures=list(failures),
         wall_s=time.perf_counter() - started,
         point_seconds=seconds)
     telemetry.record(stats)
 
-    result = RunResult(spec=spec, values=values, stats=stats)
+    result = RunResult(spec=spec, values=values, stats=stats,
+                       failures=list(failures))
     if spec.reducer is not None:
-        result.reduced = spec.reducer(values, spec.points)
+        if failures:
+            failed = {failure.index for failure in failures}
+            survivors = [index for index in range(count)
+                         if index not in failed]
+            result.reduced = spec.reducer(
+                [values[index] for index in survivors],
+                tuple(spec.points[index] for index in survivors))
+        else:
+            result.reduced = spec.reducer(values, spec.points)
     return result
 
 

@@ -6,21 +6,35 @@ Usage::
     python -m repro.experiments fig8a fig8b --quick
     python -m repro.experiments all --quick --jobs 4
     python -m repro.experiments fig8a --no-cache
+    python -m repro.experiments chaos --jobs 4 --resume --retries 2
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) runs the experiment's simulation grid
 on a process pool; results are bit-identical to ``--jobs 1``.  Results
 are cached under ``.repro-cache/`` (keyed by config + code version), so
 reruns of an unchanged experiment skip the simulations entirely; disable
 with ``--no-cache`` or ``REPRO_CACHE=0``.
+
+Resilience flags (``REPRO_TIMEOUT``/``REPRO_RETRIES``/``REPRO_RESUME``/
+``REPRO_FAIL_FAST`` env mirrors): ``--timeout``/``--retries`` bound and
+retry slow or flaky points, ``--resume`` checkpoints each grid so an
+interrupted run picks up where it was killed, and points that exhaust
+their retries are reported (exit code 1) instead of aborting the sweep
+-- unless ``--fail-fast`` asks for an immediate abort.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from repro.engine import telemetry
+from repro.engine import (
+    PointFailureError,
+    resolve_policy,
+    set_default_policy,
+    telemetry,
+)
 from repro.experiments import (
     ablation,
     baselines,
@@ -77,6 +91,25 @@ def main(argv=None) -> int:
                              "processes (default: REPRO_JOBS or 1)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write .repro-cache/")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-point wall-clock limit in seconds; "
+                             "hung workers are killed and the point "
+                             "retried (parallel executor; "
+                             "REPRO_TIMEOUT)")
+    parser.add_argument("--retries", type=int, default=None,
+                        metavar="N",
+                        help="extra attempts for failed or timed-out "
+                             "points, with exponential backoff "
+                             "(REPRO_RETRIES)")
+    parser.add_argument("--resume", action="store_true",
+                        help="checkpoint each grid to a journal and "
+                             "resume an interrupted run, recomputing "
+                             "only unfinished points (REPRO_RESUME=1)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first exhausted point "
+                             "instead of salvaging partial results "
+                             "(REPRO_FAIL_FAST=1)")
     parser.add_argument("--plot", action="store_true",
                         help="also render each result as an ASCII chart")
     parser.add_argument("--save-csv", metavar="DIR",
@@ -90,29 +123,60 @@ def main(argv=None) -> int:
 
     cache = False if args.no_cache else None
     names = list(EXPERIMENTS) if args.names == ["all"] else args.names
-    for name in names:
-        runner = EXPERIMENTS.get(name)
-        if runner is None:
-            print(f"unknown experiment {name!r}; use --list",
-                  file=sys.stderr)
-            return 2
-        telemetry.reset()
-        started = time.time()
-        result = runner(quick=args.quick, jobs=args.jobs, cache=cache)
-        print(result.format())
-        if args.plot:
-            _maybe_plot(result)
-        if args.save_csv:
-            import os
-            os.makedirs(args.save_csv, exist_ok=True)
-            path = os.path.join(args.save_csv, f"{name}.csv")
-            result.save_csv(path)
-            print(f"[wrote {path}]")
-        if telemetry.records:
-            print(telemetry.format())
-        print(f"[{name} finished in {time.time() - started:.1f}s]")
-        print()
-    return 0
+    # Install the resilience flags as the process-default policy so
+    # every execute() call under every runner sees them (unset flags
+    # still fall back to the REPRO_* environment mirrors).
+    set_default_policy(resolve_policy(
+        timeout_s=args.timeout, retries=args.retries,
+        resume=args.resume or None,
+        fail_fast=args.fail_fast or None))
+    exit_code = 0
+    try:
+        for name in names:
+            runner = EXPERIMENTS.get(name)
+            if runner is None:
+                print(f"unknown experiment {name!r}; use --list",
+                      file=sys.stderr)
+                return 2
+            telemetry.reset()
+            started = time.time()
+            try:
+                result = runner(quick=args.quick, jobs=args.jobs,
+                                cache=cache)
+            except PointFailureError as error:
+                print(f"[{name} aborted by --fail-fast: {error}]",
+                      file=sys.stderr)
+                return 1
+            print(result.format())
+            if args.plot:
+                _maybe_plot(result)
+            if args.save_csv:
+                import os
+                os.makedirs(args.save_csv, exist_ok=True)
+                path = os.path.join(args.save_csv, f"{name}.csv")
+                result.save_csv(path)
+                print(f"[wrote {path}]")
+            if telemetry.records:
+                print(telemetry.format())
+            if telemetry.failures:
+                _print_failure_report(name, telemetry.failures)
+                exit_code = 1
+            print(f"[{name} finished in {time.time() - started:.1f}s]")
+            print()
+    finally:
+        set_default_policy(None)
+    return exit_code
+
+
+def _print_failure_report(name: str, failures) -> None:
+    """The structured report for points that exhausted their retries."""
+    report = {"experiment": name,
+              "failed_points": [failure.to_json()
+                                for failure in failures]}
+    print(f"[{name}: {len(failures)} point(s) exhausted their retries; "
+          "the table above averages the surviving points]",
+          file=sys.stderr)
+    print(json.dumps(report, indent=2), file=sys.stderr)
 
 
 def _maybe_plot(result) -> None:

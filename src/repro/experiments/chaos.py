@@ -107,9 +107,13 @@ def spec(quick: bool = False,
 def run(quick: bool = False,
         seeds: Sequence[int] = (1, 2),
         jobs: Optional[int] = None,
-        cache: Any = None) -> ExperimentResult:
+        cache: Any = None,
+        policy: Any = None) -> ExperimentResult:
+    # The full (non-quick) grid is the longest sweep in the suite;
+    # start it with --resume so a kill/reboot only costs the points
+    # that had not yet been journaled.
     result = execute(spec(quick=quick, seeds=seeds), jobs=jobs,
-                     cache=cache)
+                     cache=cache, policy=policy)
     rows = [[point["intensity"], point["churn"],
              point["faults_injected"], point["lease_evictions"],
              point["evictions_detected"], point["recoveries"],

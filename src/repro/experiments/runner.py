@@ -140,6 +140,7 @@ def sweep_loads(loads: Sequence[float] = PAPER_LOADS,
                 metric: Optional[Callable[[CellStats], float]] = None,
                 jobs: Optional[int] = None,
                 cache: Any = None,
+                policy: Any = None,
                 **config_overrides) -> List[Dict[str, Any]]:
     """Run the Section-5 scenario across load indices.
 
@@ -149,12 +150,14 @@ def sweep_loads(loads: Sequence[float] = PAPER_LOADS,
     executor; ``cache`` controls the on-disk result cache (a ``metric``
     callable disables caching, since its code is not part of the cache
     key -- and must be a module-level function to run with jobs > 1).
+    ``policy`` is an optional :class:`repro.engine.RunPolicy` with the
+    resilience knobs (timeouts, retries, resume, fail-fast).
     """
     spec = sweep_spec(loads=loads, seeds=seeds, quick=quick,
                       metric=metric, **config_overrides)
     if metric is not None:
         cache = False
-    return execute(spec, jobs=jobs, cache=cache).reduced
+    return execute(spec, jobs=jobs, cache=cache, policy=policy).reduced
 
 
 def average_summaries(summaries: List[Dict[str, float]]) -> Dict[str, float]:
