@@ -3,9 +3,12 @@
 Usage::
 
     python -m repro run --load 0.8 --data-users 9 --gps-users 3
+    python -m repro run --metrics out.jsonl --profile --trace trace.jsonl
     python -m repro network --cells 3 --load 0.4 --handoffs 2
     python -m repro experiments fig8a fig12b --quick --jobs 4
     python -m repro sweep --loads 0.3,0.8,1.1 --seeds 1,2,3 --jobs 4
+    python -m repro sweep --metrics out.jsonl --profile
+    python -m repro obs out.jsonl --where load=0.8
 """
 
 from __future__ import annotations
@@ -94,9 +97,77 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
                              "(REPRO_FAIL_FAST=1)")
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="record a per-cycle timeline to PATH "
+                             "(JSONL) plus manifest and Prometheus "
+                             "sidecars")
+    parser.add_argument("--profile", action="store_true",
+                        help="time the simulator hot paths and print "
+                             "a self-profile table to stderr")
+
+
+def _instrumented_run(config: CellConfig, args: argparse.Namespace):
+    """``run_cell_detailed`` with trace/timeline/profile attached."""
+    from repro.core.cell import build_cell, finalize_run
+    from repro.obs.export import (
+        build_manifest,
+        sidecar_paths,
+        write_manifest,
+        write_prometheus,
+    )
+    from repro.obs.profiler import Profiler, instrument_cell
+    from repro.obs.registry import default_registry
+    from repro.obs.timeline import TimelineRecorder
+    from repro.trace import CellTracer
+
+    registry = default_registry()
+    if args.metrics:
+        registry.enable()
+    run = build_cell(config)
+    tracer = CellTracer(run) if args.trace else None
+    recorder = (TimelineRecorder(run, registry=registry)
+                if args.metrics else None)
+    profiler = Profiler() if args.profile else None
+    if profiler is not None:
+        instrument_cell(run, profiler)
+        with profiler.section("run.total"):
+            run.sim.run(until=config.duration)
+    else:
+        run.sim.run(until=config.duration)
+    finalize_run(run)
+
+    if tracer is not None:
+        count = tracer.write_jsonl(args.trace)
+        print(f"[trace] {count} events -> {args.trace}",
+              file=sys.stderr)
+    if recorder is not None:
+        paths = sidecar_paths(args.metrics)
+        count = recorder.write_jsonl(paths["timeline"])
+        manifest = build_manifest(
+            "run", config=config, argv=sys.argv[1:],
+            extra={"obs": recorder.summary()})
+        write_manifest(paths["manifest"], manifest)
+        write_prometheus(paths["prometheus"], registry)
+        print(f"[metrics] {count} cycles -> {paths['timeline']} "
+              f"(manifest: {paths['manifest']}, "
+              f"prometheus: {paths['prometheus']})", file=sys.stderr)
+    if profiler is not None:
+        if args.metrics:
+            paths = sidecar_paths(args.metrics)
+            with open(paths["profile"], "w", encoding="utf-8") as f:
+                json.dump(profiler.to_dict(), f, indent=2)
+                f.write("\n")
+        print(profiler.table(), file=sys.stderr)
+    return run
+
+
 def _command_run(args: argparse.Namespace) -> int:
     config = _cell_config(args)
-    run = run_cell_detailed(config)
+    if args.trace or args.metrics or args.profile:
+        run = _instrumented_run(config, args)
+    else:
+        run = run_cell_detailed(config)
     stats = run.stats
     if args.json:
         print(json.dumps(stats.summary(), indent=2))
@@ -176,7 +247,92 @@ def _command_experiments(args: argparse.Namespace) -> int:
         forwarded.append("--resume")
     if args.fail_fast:
         forwarded.append("--fail-fast")
+    if args.metrics:
+        forwarded.extend(["--metrics", args.metrics])
+    if args.profile:
+        forwarded.append("--profile")
     return experiments_main(forwarded)
+
+
+def _observed_sweep(args: argparse.Namespace, loads, seeds, policy):
+    """Run the sweep through the observed spec and write artifacts."""
+    from repro.engine import execute
+    from repro.obs.export import (
+        build_manifest,
+        config_digest,
+        sidecar_paths,
+        write_jsonl,
+        write_manifest,
+        write_prometheus,
+    )
+    from repro.obs.profiler import Profiler
+    from repro.obs.registry import default_registry
+    from repro.experiments.runner import observed_sweep_spec
+
+    if args.metrics:
+        default_registry().enable()
+    spec = observed_sweep_spec(
+        loads=loads, seeds=seeds, profile=args.profile,
+        num_data_users=args.data_users,
+        num_gps_users=args.gps_users,
+        cycles=args.cycles, warmup_cycles=args.warmup)
+    result = execute(spec, jobs=args.jobs,
+                     cache=False if args.no_cache else None,
+                     policy=policy)
+    values = [value for value in result.values if value]
+
+    if args.metrics:
+        records = []
+        margins = []
+        for value, point in zip(result.values, spec.points):
+            if not value:
+                continue
+            for record in value["timeline"]:
+                merged = dict(record)
+                merged.update(point.label)
+                records.append(merged)
+            margin = value["obs"].get("gps_min_margin_s")
+            if margin is not None:
+                margins.append(margin)
+        paths = sidecar_paths(args.metrics)
+        write_jsonl(paths["timeline"], records)
+        manifest = build_manifest(
+            "sweep", policy=policy, argv=sys.argv[1:],
+            extra={
+                "grid": {
+                    "loads": list(loads),
+                    "seeds": list(seeds),
+                    "cycles": args.cycles,
+                    "warmup_cycles": args.warmup,
+                    "num_data_users": args.data_users,
+                    "num_gps_users": args.gps_users,
+                },
+                "config_sha256": config_digest(
+                    [point.config for point in spec.points]),
+                "points": len(spec.points),
+                "obs": {
+                    "gps_min_margin_s":
+                        min(margins) if margins else None,
+                    "gps_deadline_held":
+                        (min(margins) >= 0.0) if margins else None,
+                },
+            })
+        write_manifest(paths["manifest"], manifest)
+        write_prometheus(paths["prometheus"], default_registry())
+        print(f"[metrics] {len(records)} cycle records -> "
+              f"{paths['timeline']} (manifest: {paths['manifest']}, "
+              f"prometheus: {paths['prometheus']})", file=sys.stderr)
+    if args.profile:
+        profiler = Profiler()
+        for value in values:
+            profiler.merge(value.get("profile", {}))
+        if args.metrics:
+            paths = sidecar_paths(args.metrics)
+            with open(paths["profile"], "w", encoding="utf-8") as f:
+                json.dump(profiler.to_dict(), f, indent=2)
+                f.write("\n")
+        print(profiler.table(), file=sys.stderr)
+    return result.reduced
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
@@ -203,13 +359,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
         fail_fast=args.fail_fast or None)
     telemetry.reset()
     try:
-        points = sweep_loads(
-            loads=loads, seeds=seeds,
-            num_data_users=args.data_users,
-            num_gps_users=args.gps_users,
-            cycles=args.cycles, warmup_cycles=args.warmup,
-            jobs=args.jobs, cache=False if args.no_cache else None,
-            policy=policy)
+        if args.metrics or args.profile:
+            points = _observed_sweep(args, loads, seeds, policy)
+        else:
+            points = sweep_loads(
+                loads=loads, seeds=seeds,
+                num_data_users=args.data_users,
+                num_gps_users=args.gps_users,
+                cycles=args.cycles, warmup_cycles=args.warmup,
+                jobs=args.jobs, cache=False if args.no_cache else None,
+                policy=policy)
     except PointFailureError as error:
         print(f"sweep aborted by --fail-fast: {error}", file=sys.stderr)
         return 1
@@ -232,6 +391,43 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_obs(args: argparse.Namespace) -> int:
+    """Render a recorded timeline (``--metrics`` output) as charts."""
+    from repro.obs.export import read_jsonl
+    from repro.obs.render import (
+        filter_records,
+        render_timeline,
+        timeline_digest,
+    )
+
+    records = read_jsonl(args.path)
+    if not records:
+        print(f"obs: no records in {args.path}", file=sys.stderr)
+        return 1
+    where = {}
+    for item in args.where:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            print(f"obs: --where expects KEY=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        where[key] = value
+    if where:
+        records = filter_records(records, where)
+        if not records:
+            print(f"obs: no records match {where}", file=sys.stderr)
+            return 1
+    columns = None
+    if args.columns:
+        columns = tuple(name for name in args.columns.split(",")
+                        if name)
+    if args.json:
+        print(json.dumps(timeline_digest(records), indent=2))
+        return 0
+    print(render_timeline(records, columns=columns))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -242,6 +438,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser = subparsers.add_parser(
         "run", help="simulate one cell and print its metrics")
     _add_cell_arguments(run_parser)
+    _add_obs_arguments(run_parser)
+    run_parser.add_argument("--trace", metavar="PATH", default=None,
+                            help="dump the protocol event trace to "
+                                 "PATH as JSONL")
     run_parser.set_defaults(handler=_command_run)
 
     network_parser = subparsers.add_parser(
@@ -266,6 +466,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     experiments_parser.add_argument("--jobs", type=int, default=None)
     experiments_parser.add_argument("--no-cache", action="store_true")
     _add_resilience_arguments(experiments_parser)
+    _add_obs_arguments(experiments_parser)
     experiments_parser.set_defaults(handler=_command_experiments)
 
     sweep_parser = subparsers.add_parser(
@@ -282,8 +483,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep_parser.add_argument("--jobs", type=int, default=None)
     sweep_parser.add_argument("--no-cache", action="store_true")
     _add_resilience_arguments(sweep_parser)
+    _add_obs_arguments(sweep_parser)
     sweep_parser.add_argument("--json", action="store_true")
     sweep_parser.set_defaults(handler=_command_sweep)
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="render a recorded per-cycle timeline")
+    obs_parser.add_argument("path",
+                            help="timeline JSONL written by --metrics")
+    obs_parser.add_argument("--columns", default="",
+                            help="comma-separated timeline columns to "
+                                 "chart (default: the headline set)")
+    obs_parser.add_argument("--where", action="append", default=[],
+                            metavar="KEY=VALUE",
+                            help="filter records by a label or field "
+                                 "(repeatable), e.g. --where load=0.8")
+    obs_parser.add_argument("--json", action="store_true",
+                            help="print a digest of the timeline as "
+                                 "JSON instead of charts")
+    obs_parser.set_defaults(handler=_command_obs)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -13,7 +13,13 @@ Public surface:
 """
 
 from repro.core.base_station import BaseStation
-from repro.core.cell import CellRun, build_cell, run_cell, run_cell_detailed
+from repro.core.cell import (
+    CellRun,
+    build_cell,
+    finalize_run,
+    run_cell,
+    run_cell_detailed,
+)
 from repro.core.config import CellConfig
 from repro.core.fields import AckEntry, ControlFields
 from repro.core.gps_slots import GpsSlotManager
@@ -52,6 +58,7 @@ __all__ = [
     "ReservationPacket",
     "RoundRobinScheduler",
     "build_cell",
+    "finalize_run",
     "run_cell",
     "run_cell_detailed",
 ]

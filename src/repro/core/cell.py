@@ -214,7 +214,7 @@ def run_cell_detailed(config: CellConfig) -> CellRun:
     """Build and run a cell; returns the full run object."""
     run = build_cell(config)
     run.sim.run(until=config.duration)
-    _finalize(run)
+    finalize_run(run)
     return run
 
 
@@ -223,7 +223,14 @@ def run_cell(config: CellConfig) -> CellStats:
     return run_cell_detailed(config).stats
 
 
-def _finalize(run: CellRun) -> None:
+def finalize_run(run: CellRun) -> None:
+    """Post-run accounting for a manually driven cell.
+
+    Callers that ``build_cell`` + ``sim.run`` themselves (tracing and
+    observability instrumentation do, to attach hooks before the run)
+    must call this to fold the radio audits into the stats and give the
+    invariant monitor its final audit.
+    """
     stats = run.stats
     for subscriber in run.data_users:
         stats.radio_violations += len(subscriber.radio.violations)

@@ -70,6 +70,57 @@ class EngineStats:
         return f"[engine {self.spec}: " + ", ".join(parts) + "]"
 
 
+def publish_to_registry(stats: EngineStats) -> None:
+    """Mirror one execution's counters into the metrics registry.
+
+    Publishes into the process-global
+    :func:`repro.obs.registry.default_registry`; when that registry is
+    disabled (the default) this is a handful of no-op calls.
+    """
+    from repro.obs.registry import default_registry
+
+    registry = default_registry()
+    if not registry.enabled:
+        return
+    points = registry.counter(
+        "engine_points_total",
+        "Engine points by disposition", ("spec", "disposition"))
+    points.labels(spec=stats.spec, disposition="executed") \
+        .inc(stats.executed)
+    points.labels(spec=stats.spec, disposition="cached") \
+        .inc(stats.cache_hits)
+    points.labels(spec=stats.spec, disposition="resumed") \
+        .inc(stats.resumed)
+    points.labels(spec=stats.spec, disposition="failed") \
+        .inc(len(stats.failures))
+    resilience = registry.counter(
+        "engine_recoveries_total",
+        "Retries, timeouts, respawns, quarantined cache entries",
+        ("spec", "kind"))
+    resilience.labels(spec=stats.spec, kind="retries") \
+        .inc(stats.retries)
+    resilience.labels(spec=stats.spec, kind="timeouts") \
+        .inc(stats.timeouts)
+    resilience.labels(spec=stats.spec, kind="respawns") \
+        .inc(stats.respawns)
+    resilience.labels(spec=stats.spec, kind="quarantined") \
+        .inc(stats.quarantined)
+    registry.counter(
+        "engine_wall_seconds_total",
+        "Wall-clock spent in execute()", ("spec",)) \
+        .labels(spec=stats.spec).inc(stats.wall_s)
+    registry.gauge(
+        "engine_jobs", "Executor width of the last execution",
+        ("spec",)).labels(spec=stats.spec).set(stats.jobs)
+    seconds = registry.histogram(
+        "engine_point_seconds",
+        "Per-point compute seconds (executed points only)",
+        ("spec",))
+    for value in stats.point_seconds:
+        if value > 0:
+            seconds.labels(spec=stats.spec).observe(value)
+
+
 class TelemetryLog:
     """Append-only log of engine executions (reset per experiment)."""
 
@@ -78,6 +129,7 @@ class TelemetryLog:
 
     def record(self, stats: EngineStats) -> None:
         self.records.append(stats)
+        publish_to_registry(stats)
 
     def reset(self) -> None:
         self.records = []

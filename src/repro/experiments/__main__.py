@@ -114,6 +114,13 @@ def main(argv=None) -> int:
                         help="also render each result as an ASCII chart")
     parser.add_argument("--save-csv", metavar="DIR",
                         help="also write each result to DIR/<name>.csv")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write the metrics-registry samples "
+                             "(engine counters etc.) to PATH as JSONL "
+                             "plus manifest and Prometheus sidecars")
+    parser.add_argument("--profile", action="store_true",
+                        help="time each experiment end to end and "
+                             "print a self-profile table to stderr")
     args = parser.parse_args(argv)
 
     if args.list or not args.names:
@@ -123,6 +130,14 @@ def main(argv=None) -> int:
 
     cache = False if args.no_cache else None
     names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    from repro.obs.profiler import PROFILER
+    from repro.obs.registry import default_registry
+    if args.metrics:
+        default_registry().enable()
+        default_registry().reset()
+    if args.profile:
+        PROFILER.enabled = True
+        PROFILER.reset()
     # Install the resilience flags as the process-default policy so
     # every execute() call under every runner sees them (unset flags
     # still fall back to the REPRO_* environment mirrors).
@@ -141,8 +156,9 @@ def main(argv=None) -> int:
             telemetry.reset()
             started = time.time()
             try:
-                result = runner(quick=args.quick, jobs=args.jobs,
-                                cache=cache)
+                with PROFILER.section(f"experiment.{name}"):
+                    result = runner(quick=args.quick, jobs=args.jobs,
+                                    cache=cache)
             except PointFailureError as error:
                 print(f"[{name} aborted by --fail-fast: {error}]",
                       file=sys.stderr)
@@ -165,7 +181,35 @@ def main(argv=None) -> int:
             print()
     finally:
         set_default_policy(None)
+        if args.profile:
+            print(PROFILER.table(), file=sys.stderr)
+            PROFILER.enabled = False
+        if args.metrics:
+            _write_metrics(args.metrics, names, argv)
     return exit_code
+
+
+def _write_metrics(path: str, names, argv) -> None:
+    """Dump the registry plus manifest/Prometheus sidecars."""
+    from repro.obs.export import (
+        build_manifest,
+        sidecar_paths,
+        write_jsonl,
+        write_manifest,
+        write_prometheus,
+    )
+    from repro.obs.registry import default_registry
+
+    registry = default_registry()
+    write_jsonl(path, registry.rows())
+    paths = sidecar_paths(path)
+    write_manifest(paths["manifest"], build_manifest(
+        "experiments", argv=argv,
+        extra={"experiments": list(names)}))
+    write_prometheus(paths["prometheus"], registry)
+    print(f"[metrics] registry -> {path} "
+          f"(manifest: {paths['manifest']}, "
+          f"prometheus: {paths['prometheus']})", file=sys.stderr)
 
 
 def _print_failure_report(name: str, failures) -> None:

@@ -134,6 +134,41 @@ def sweep_spec(loads: Sequence[float] = PAPER_LOADS,
         reducer=lambda values, pts: group_means(values, pts, by=("load",)))
 
 
+def _observed_reducer(values: Sequence[Dict[str, Any]],
+                      points: Sequence[Point]) -> List[Dict[str, Any]]:
+    """The normal per-load table, folded from observed results."""
+    return group_means([value["summary"] for value in values],
+                       points, by=("load",))
+
+
+def observed_sweep_spec(loads: Sequence[float] = PAPER_LOADS,
+                        seeds: Sequence[int] = (1, 2, 3),
+                        quick: bool = False,
+                        profile: bool = False,
+                        **config_overrides) -> RunSpec:
+    """:func:`sweep_spec` with per-cycle observability attached.
+
+    Each point runs :func:`repro.obs.observe.run_cell_observed`, so its
+    value carries the summary *plus* the per-cycle timeline, the
+    timeline digest, and (with ``profile=True``) the self-profile
+    sections -- all JSON-serializable, so caching, parallel execution,
+    and resume work exactly as for a plain sweep.  The reducer still
+    yields the familiar per-load table.
+    """
+    from repro.obs.observe import run_cell_observed
+
+    points = []
+    for load in loads:
+        for seed in seeds:
+            config = sweep_cell_config(load, seed, quick=quick,
+                                       **config_overrides)
+            points.append(Point(fn=run_cell_observed,
+                                config=(config, bool(profile)),
+                                label=dict(load=load, seed=seed)))
+    return RunSpec(name="sweep_loads_observed", points=tuple(points),
+                   reducer=_observed_reducer)
+
+
 def sweep_loads(loads: Sequence[float] = PAPER_LOADS,
                 seeds: Sequence[int] = (1, 2, 3),
                 quick: bool = False,

@@ -160,4 +160,24 @@ class InvariantMonitor:
         for message in failures:
             self.violations.append((now, message))
         self.stats.invariant_violations += len(failures)
+        self._publish(len(failures))
         return failures
+
+    def _publish(self, new_violations: int) -> None:
+        """Mirror the check into the process-global metrics registry.
+
+        Imported lazily (``repro.obs`` imports the cell module) and a
+        couple of no-op calls when the registry is disabled.
+        """
+        from repro.obs.registry import default_registry
+
+        registry = default_registry()
+        if not registry.enabled:
+            return
+        registry.counter(
+            "osu_invariant_checks_total",
+            "Invariant-monitor sweeps").inc()
+        registry.counter(
+            "osu_invariant_violations_total",
+            "Violated protocol safety properties"
+        ).inc(new_violations)

@@ -1,0 +1,226 @@
+"""Exporters and run manifests.
+
+Three wire formats for everything the observability layer records:
+
+* **JSONL** -- one JSON object per line; the timeline format
+  ``python -m repro obs`` reads back.
+* **CSV** -- flat tables for spreadsheets/plotting.
+* **Prometheus text exposition** -- a scrape-compatible snapshot of a
+  :class:`~repro.obs.registry.MetricsRegistry`.
+
+Plus the **run manifest**: a sidecar JSON file recording what produced
+a metrics artifact -- config content hash, seeds, git revision, code
+fingerprint, the resolved :class:`~repro.engine.policy.RunPolicy`, the
+interpreter, and the command line -- so a timeline on disk is traceable
+to the exact run that wrote it.
+
+``--metrics PATH`` writes the timeline to ``PATH`` and derives sidecar
+paths from it (see :func:`sidecar_paths`): ``<base>.manifest.json``,
+``<base>.prom``, ``<base>.profile.json``.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.obs.registry import HistogramChild, MetricsRegistry
+
+MANIFEST_SCHEMA = "repro/manifest@1"
+
+
+# -- row writers -----------------------------------------------------------
+
+
+def write_jsonl(path: str, records: Iterable[Mapping]) -> int:
+    """Write one JSON object per line; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL file (tolerating a torn final line)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                break  # torn tail (e.g. the run was killed mid-write)
+    return records
+
+
+def write_csv(path: str, records: Iterable[Mapping],
+              fieldnames: Optional[List[str]] = None) -> int:
+    """Write dict records as CSV; returns the record count.
+
+    Field names default to the union of keys across all records, in
+    first-seen order, so heterogeneous rows still land in one table.
+    """
+    rows = [dict(record) for record in records]
+    if fieldnames is None:
+        fieldnames = []
+        for row in rows:
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames,
+                                restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "")
+                             for key in fieldnames})
+    return len(rows)
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _label_str(names, values, extra: str = "") -> str:
+    parts = [f'{name}="{_escape_label(value)}"'
+             for name, value in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format (v0.0.4)."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.children():
+            if isinstance(child, HistogramChild):
+                cumulative = child.cumulative()
+                for index, bound in enumerate(child.buckets):
+                    labels = _label_str(
+                        family.labelnames, values,
+                        extra=f'le="{_format_value(bound)}"')
+                    lines.append(f"{family.name}_bucket{labels} "
+                                 f"{cumulative[index]}")
+                labels = _label_str(family.labelnames, values,
+                                    extra='le="+Inf"')
+                lines.append(f"{family.name}_bucket{labels} "
+                             f"{cumulative[-1]}")
+                plain = _label_str(family.labelnames, values)
+                lines.append(f"{family.name}_sum{plain} "
+                             f"{_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{plain} "
+                             f"{child.count}")
+            else:
+                labels = _label_str(family.labelnames, values)
+                lines.append(f"{family.name}{labels} "
+                             f"{_format_value(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str, registry: MetricsRegistry) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(registry))
+
+
+# -- run manifests ---------------------------------------------------------
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit hash, or None outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.getcwd(), capture_output=True, text=True,
+            timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def config_digest(config: Any) -> str:
+    """Content hash of any config object (stable across processes)."""
+    from repro.engine.hashing import canonical
+
+    payload = json.dumps(canonical(config), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def build_manifest(kind: str,
+                   config: Any = None,
+                   policy: Any = None,
+                   argv: Optional[List[str]] = None,
+                   extra: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
+    """Everything needed to trace a metrics artifact back to its run."""
+    from repro.engine.hashing import canonical, code_fingerprint
+
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": kind,
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "argv": list(argv if argv is not None else sys.argv),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "git_revision": git_revision(),
+        "code_fingerprint": code_fingerprint(),
+    }
+    if config is not None:
+        manifest["config_sha256"] = config_digest(config)
+        manifest["config"] = canonical(config)
+        seed = getattr(config, "seed", None)
+        if seed is not None:
+            manifest["seed"] = seed
+    if policy is not None:
+        manifest["policy"] = canonical(policy)
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path: str, manifest: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def sidecar_paths(metrics_path: str) -> Dict[str, str]:
+    """Derived artifact paths for one ``--metrics PATH`` run."""
+    base, ext = os.path.splitext(metrics_path)
+    if ext not in (".jsonl", ".json", ".csv"):
+        base = metrics_path
+    return {
+        "timeline": metrics_path,
+        "manifest": base + ".manifest.json",
+        "prometheus": base + ".prom",
+        "profile": base + ".profile.json",
+    }

@@ -1,0 +1,181 @@
+"""Scoped wall-clock profiling: where do simulated seconds go?
+
+A :class:`Profiler` aggregates named sections into a self-profile table
+(calls, total seconds, mean/max microseconds, share of the widest
+section).  Sections come from three sources:
+
+* ``with profiler.section("name"):`` around any block;
+* ``profiler.wrap(fn, "name")`` / ``profiler.instrument(obj, attr)``,
+  which shadow a bound method with a timed wrapper on *one instance*
+  (the class stays untouched, so un-instrumented runs pay nothing);
+* :func:`instrument_cell`, the standard hook set for a built
+  :class:`~repro.core.cell.CellRun`: the simulator event loop
+  (``sim.step``), reverse/forward channel delivery, and the base
+  station's per-cycle schedule build.
+
+Sections *nest* (channel delivery runs inside an event-loop step), so
+totals overlap by design -- the table answers "how much wall-clock is
+spent under each hook", not "how do disjoint parts sum to 100%".
+
+:data:`PROFILER` is a process-global instance, disabled by default;
+the CLIs enable it under ``--profile``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+
+class SectionStats:
+    """Aggregated timings of one named section."""
+
+    __slots__ = ("calls", "total_s", "max_s")
+
+    def __init__(self, calls: int = 0, total_s: float = 0.0,
+                 max_s: float = 0.0):
+        self.calls = calls
+        self.total_s = total_s
+        self.max_s = max_s
+
+    def add(self, seconds: float) -> None:
+        self.calls += 1
+        self.total_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"calls": self.calls, "total_s": self.total_s,
+                "max_s": self.max_s}
+
+
+class Profiler:
+    """Aggregates scoped wall-clock timings by section name."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.sections: Dict[str, SectionStats] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, name: str, seconds: float) -> None:
+        stats = self.sections.get(name)
+        if stats is None:
+            stats = self.sections[name] = SectionStats()
+        stats.add(seconds)
+
+    @contextmanager
+    def section(self, name: str):
+        """Time a block; no-op (single branch) when disabled."""
+        if not self.enabled:
+            yield self
+            return
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(name, time.perf_counter() - started)
+
+    def wrap(self, fn: Callable, name: str) -> Callable:
+        """A timed wrapper around ``fn`` recording under ``name``."""
+        perf_counter = time.perf_counter
+        record = self.record
+
+        def timed(*args, **kwargs):
+            started = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                record(name, perf_counter() - started)
+
+        timed.__wrapped__ = fn
+        return timed
+
+    def instrument(self, obj: object, attr: str,
+                   name: Optional[str] = None) -> None:
+        """Shadow ``obj.attr`` with a timed wrapper (instance-local)."""
+        section = name or f"{type(obj).__name__}.{attr}"
+        setattr(obj, attr, self.wrap(getattr(obj, attr), section))
+
+    # -- reporting --------------------------------------------------------
+
+    def reset(self) -> None:
+        self.sections = {}
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        return {name: stats.to_dict()
+                for name, stats in self.sections.items()}
+
+    def merge(self, data: Dict[str, Dict[str, float]]) -> None:
+        """Fold another profiler's ``to_dict()`` into this one.
+
+        Used to aggregate per-point profiles collected in worker
+        processes into one parent-side table.
+        """
+        for name, entry in data.items():
+            stats = self.sections.get(name)
+            if stats is None:
+                stats = self.sections[name] = SectionStats()
+            stats.calls += int(entry.get("calls", 0))
+            stats.total_s += float(entry.get("total_s", 0.0))
+            stats.max_s = max(stats.max_s,
+                              float(entry.get("max_s", 0.0)))
+
+    def table(self) -> str:
+        """The self-profile table, widest section first."""
+        if not self.sections:
+            return "[profile: no sections recorded]"
+        rows: List[List[str]] = []
+        widest = max(stats.total_s
+                     for stats in self.sections.values()) or 1.0
+        ordered = sorted(self.sections.items(),
+                         key=lambda item: -item[1].total_s)
+        for name, stats in ordered:
+            rows.append([
+                name,
+                str(stats.calls),
+                f"{stats.total_s:.4f}",
+                f"{stats.mean_s * 1e6:.1f}",
+                f"{stats.max_s * 1e6:.1f}",
+                f"{stats.total_s / widest * 100:.1f}%",
+            ])
+        headers = ["section", "calls", "total s", "mean us",
+                   "max us", "share"]
+        widths = [max(len(row[index]) for row in [headers] + rows)
+                  for index in range(len(headers))]
+        lines = ["  ".join(header.ljust(width)
+                           for header, width in zip(headers, widths))]
+        lines.append("  ".join("-" * width for width in widths))
+        for row in rows:
+            lines.append("  ".join(
+                cell.ljust(width)
+                for cell, width in zip(row, widths)))
+        lines.append("(sections nest: 'share' is relative to the "
+                     "widest section, not a partition)")
+        return "\n".join(lines)
+
+
+#: The process-global profiler, enabled by the CLIs under --profile.
+PROFILER = Profiler(enabled=False)
+
+
+def instrument_cell(run, profiler: Profiler) -> None:
+    """Attach the standard hook set to a built cell run.
+
+    Wraps, on the run's own instances only: the simulator event loop
+    (every :meth:`~repro.sim.core.Simulator.step`), delivery on both
+    channels, and the base station's per-cycle schedule build.
+    """
+    profiler.instrument(run.sim, "step", "sim.event_loop")
+    base_station = run.base_station
+    profiler.instrument(base_station, "_build_cycle",
+                        "scheduler.build_cycle")
+    profiler.instrument(base_station.reverse, "_complete",
+                        "channel.reverse_delivery")
+    profiler.instrument(base_station.forward, "_complete",
+                        "channel.forward_delivery")

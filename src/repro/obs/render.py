@@ -1,0 +1,164 @@
+"""Terminal rendering of a recorded timeline (``python -m repro obs``).
+
+Reads the JSONL a :class:`~repro.obs.timeline.TimelineRecorder` wrote
+(directly or via ``--metrics``), optionally filters it down to one
+(load, seed) group of a merged sweep timeline, and renders per-series
+ASCII charts plus the run-level digest -- including the independent
+verdict on the paper's 4-second GPS access guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.plots import ascii_chart
+
+#: Series charted when the user does not pick columns.
+DEFAULT_COLUMNS = (
+    "uplink_queue_depth",
+    "reservation_backlog",
+    "slot_utilization",
+    "uplink_collisions",
+    "gps_min_margin_s",
+)
+
+#: Keys that label a merged sweep timeline rather than measure it.
+LABEL_KEYS = ("load", "seed")
+
+
+def filter_records(records: List[Dict[str, Any]],
+                   where: Dict[str, str]) -> List[Dict[str, Any]]:
+    """Keep records whose fields match every ``key=value`` filter.
+
+    Values compare as strings so ``load=0.5`` matches the float 0.5.
+    """
+    def matches(record: Dict[str, Any]) -> bool:
+        for key, value in where.items():
+            if str(record.get(key)) != value:
+                return False
+        return True
+
+    return [record for record in records if matches(record)]
+
+
+def groups_of(records: List[Dict[str, Any]]
+              ) -> List[Tuple[Tuple[str, Any], ...]]:
+    """Distinct (label, value) coordinates present in the records."""
+    seen: List[Tuple[Tuple[str, Any], ...]] = []
+    for record in records:
+        coordinate = tuple((key, record[key]) for key in LABEL_KEYS
+                           if key in record)
+        if coordinate and coordinate not in seen:
+            seen.append(coordinate)
+    return seen
+
+
+def series_summary(values: Sequence[float]) -> str:
+    count = len(values)
+    mean = sum(values) / count
+    return (f"min={min(values):.4g}  mean={mean:.4g}  "
+            f"max={max(values):.4g}  n={count}")
+
+
+def render_timeline(records: List[Dict[str, Any]],
+                    columns: Optional[Sequence[str]] = None,
+                    width: int = 64, height: int = 10) -> str:
+    """The full terminal report for one timeline."""
+    if not records:
+        return "timeline: no records"
+    lines: List[str] = []
+
+    groups = groups_of(records)
+    if len(groups) > 1:
+        first = groups[0]
+        label = ", ".join(f"{key}={value}" for key, value in first)
+        lines.append(
+            f"merged sweep timeline with {len(groups)} groups; "
+            f"showing {label} (filter with --where KEY=VALUE)")
+        others = ", ".join(
+            " ".join(f"{key}={value}" for key, value in group)
+            for group in groups[1:6])
+        lines.append(f"other groups: {others}"
+                     + (" ..." if len(groups) > 6 else ""))
+        lines.append("")
+        records = filter_records(
+            records, {key: str(value) for key, value in first})
+
+    cycles = [record.get("cycle", index)
+              for index, record in enumerate(records)]
+    span = records[-1].get("time", 0.0)
+    lines.append(f"{len(records)} cycles sampled, "
+                 f"t = {records[0].get('time', 0.0):.1f}s "
+                 f".. {span:.1f}s")
+
+    wanted = list(columns) if columns else list(DEFAULT_COLUMNS)
+    for column in wanted:
+        pairs = [(cycle, record[column])
+                 for cycle, record in zip(cycles, records)
+                 if record.get(column) is not None]
+        if not pairs:
+            lines.append("")
+            lines.append(f"-- {column}: no data")
+            continue
+        xs = [float(cycle) for cycle, _value in pairs]
+        ys = [float(value) for _cycle, value in pairs]
+        lines.append("")
+        lines.append(f"-- {column}  [{series_summary(ys)}]")
+        if len(set(ys)) > 1 and len(xs) > 1:
+            lines.append(ascii_chart(xs, ys, width=width,
+                                     height=height, x_label="cycle",
+                                     y_label=column))
+        else:
+            lines.append(f"   constant at {ys[0]:.4g}")
+
+    lines.append("")
+    lines.append(gps_verdict(records))
+    return "\n".join(lines)
+
+
+def timeline_digest(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Machine-readable summary of a timeline (``repro obs --json``)."""
+    margins = [record["gps_min_margin_s"] for record in records
+               if record.get("gps_min_margin_s") is not None]
+    gaps = [record["gps_max_gap_s"] for record in records
+            if record.get("gps_max_gap_s") is not None]
+
+    def column_max(name: str) -> Optional[float]:
+        values = [record[name] for record in records
+                  if record.get(name) is not None]
+        return max(values) if values else None
+
+    return {
+        "records": len(records),
+        "groups": [dict(group) for group in groups_of(records)],
+        "gps_min_margin_s": min(margins) if margins else None,
+        "gps_max_gap_s": max(gaps) if gaps else None,
+        "gps_deadline_held": (min(margins) >= 0.0) if margins
+        else None,
+        "max_uplink_queue_depth": column_max("uplink_queue_depth"),
+        "max_reservation_backlog": column_max("reservation_backlog"),
+        "max_forward_backlog": column_max("forward_backlog"),
+        "uplink_collisions": sum(
+            record.get("uplink_collisions") or 0
+            for record in records),
+        "invariant_violations": sum(
+            record.get("invariant_violations") or 0
+            for record in records),
+    }
+
+
+def gps_verdict(records: List[Dict[str, Any]]) -> str:
+    """Independent check of the 4s R1-R3 access guarantee."""
+    margins = [record["gps_min_margin_s"] for record in records
+               if record.get("gps_min_margin_s") is not None]
+    if not margins:
+        return ("GPS deadline check: no GPS inter-access gaps "
+                "recorded")
+    worst = min(margins)
+    gaps = [record["gps_max_gap_s"] for record in records
+            if record.get("gps_max_gap_s") is not None]
+    verdict = "HELD" if worst >= 0.0 else "VIOLATED"
+    return (f"GPS deadline check: {verdict} -- worst margin "
+            f"{worst:.3f}s (longest inter-access gap "
+            f"{max(gaps):.3f}s vs 4s deadline, "
+            f"{len(margins)} cycles with closed gaps)")

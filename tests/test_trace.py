@@ -69,6 +69,48 @@ class TestCellTracer:
         assert len(tracer.events) == 50
         assert tracer.dropped > 0
 
+    def test_combined_category_and_event_filter(self):
+        """category= and event= compose (logical AND), and agree
+        with counting the same query."""
+        _run, tracer = traced_run(num_data_users=10, num_gps_users=6)
+        both = list(tracer.query(category="uplink", event="collision"))
+        assert both
+        assert all(event.category == "uplink"
+                   and event.event == "collision" for event in both)
+        assert len(both) == tracer.count(category="uplink",
+                                         event="collision")
+        # The conjunction is strictly narrower than either filter.
+        assert len(both) < tracer.count(category="uplink")
+
+    def test_jsonl_round_trip_parses_every_line(self, tmp_path):
+        _run, tracer = traced_run()
+        path = tmp_path / "trace.jsonl"
+        count = tracer.write_jsonl(str(path))
+        parsed = [json.loads(line)
+                  for line in path.read_text().splitlines()]
+        assert len(parsed) == count
+        for record, event in zip(parsed, tracer.events):
+            assert record["time"] == event.time
+            assert record["category"] == event.category
+            assert record["event"] == event.event
+            assert record["actor"] == event.actor
+        times = [record["time"] for record in parsed]
+        assert times == sorted(times)
+
+    def test_zero_duration_run_yields_empty_trace(self, tmp_path):
+        config = CellConfig(num_data_users=2, num_gps_users=1,
+                            load_index=0.5, cycles=10,
+                            warmup_cycles=2, seed=5)
+        run = build_cell(config)
+        tracer = CellTracer(run)
+        run.sim.run(until=0.0)  # nothing ever happens
+        assert tracer.events == []
+        assert tracer.summary() == {}
+        assert tracer.count() == 0
+        path = tmp_path / "empty.jsonl"
+        assert tracer.write_jsonl(str(path)) == 0
+        assert path.read_text() == ""
+
     def test_tracing_does_not_perturb_results(self):
         """Instrumentation must be observationally transparent."""
         config = dict(num_data_users=4, num_gps_users=2, load_index=0.5,
