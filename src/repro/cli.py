@@ -391,6 +391,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run as lint_run
+
+    return lint_run(args)
+
+
 def _command_obs(args: argparse.Namespace) -> int:
     """Render a recorded timeline (``--metrics`` output) as charts."""
     from repro.obs.export import read_jsonl
@@ -486,6 +492,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_obs_arguments(sweep_parser)
     sweep_parser.add_argument("--json", action="store_true")
     sweep_parser.set_defaults(handler=_command_sweep)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run maclint, the protocol-aware static analyzer")
+    from repro.lint.cli import configure_parser as _configure_lint
+    _configure_lint(lint_parser)
+    lint_parser.set_defaults(handler=_command_lint)
 
     obs_parser = subparsers.add_parser(
         "obs", help="render a recorded per-cycle timeline")

@@ -1,0 +1,51 @@
+"""maclint: protocol-aware static analysis for the OSU-MAC codebase.
+
+Dependency-free AST checks guarding the repository's three headline
+guarantees -- deterministic replay (DET), process-pool safety (PAR),
+single-sourced paper constants (PROTO) -- plus hot-path hygiene (HOT).
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
+pragma/baseline workflow, and ``python -m repro lint --list-rules`` for
+a quick reference.
+"""
+
+from repro.lint.baseline import (
+    BASELINE_FILENAME,
+    fingerprint,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.lint.checker import (
+    CORE_PACKAGES,
+    FileReport,
+    Finding,
+    LintSyntaxError,
+    Scope,
+    check_file,
+    check_source,
+    scope_for_path,
+)
+from repro.lint.pragmas import PragmaSet, parse_pragmas
+from repro.lint.rules import FAMILIES, PAPER_CONSTANTS, RULES, Rule
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "CORE_PACKAGES",
+    "FAMILIES",
+    "FileReport",
+    "Finding",
+    "LintSyntaxError",
+    "PAPER_CONSTANTS",
+    "PragmaSet",
+    "RULES",
+    "Rule",
+    "Scope",
+    "check_file",
+    "check_source",
+    "fingerprint",
+    "load_baseline",
+    "parse_pragmas",
+    "partition",
+    "scope_for_path",
+    "write_baseline",
+]

@@ -1,0 +1,84 @@
+"""Finding fingerprints and the checked-in baseline.
+
+The baseline (``.maclint-baseline.json`` at the repository root) holds
+the fingerprints of grandfathered findings so the CI gate fails only on
+*new* violations.  A fingerprint hashes the rule id, the normalised
+path, and the stripped source-line text -- deliberately **not** the
+line number, so unrelated edits that shift code do not invalidate the
+baseline.  Duplicate (rule, path, text) occurrences are matched as a
+multiset: introducing a second copy of a baselined violation is still a
+new finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.checker import Finding
+
+BASELINE_SCHEMA = "repro/maclint-baseline@1"
+BASELINE_FILENAME = ".maclint-baseline.json"
+
+
+def fingerprint(finding: "Finding") -> str:
+    """Stable identity of a finding across line-number drift."""
+    payload = f"{finding.rule}|{finding.path}|{finding.text}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: str) -> "Counter[str]":
+    """The fingerprint multiset stored at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported baseline schema "
+            f"{data.get('schema')!r} (expected {BASELINE_SCHEMA!r})")
+    counts: "Counter[str]" = Counter()
+    for entry in data.get("findings", []):
+        counts[entry["fingerprint"]] += 1
+    return counts
+
+
+def write_baseline(path: str, findings: List["Finding"]) -> int:
+    """Persist ``findings`` as the new baseline; returns the count."""
+    entries = [
+        {
+            "fingerprint": fingerprint(finding),
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "text": finding.text,
+        }
+        for finding in sorted(findings,
+                              key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload: Dict[str, object] = {
+        "schema": BASELINE_SCHEMA,
+        "findings": entries,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def partition(findings: List["Finding"],
+              baseline: "Counter[str]",
+              ) -> Tuple[List["Finding"], List["Finding"]]:
+    """Split findings into (new, baselined) against the multiset."""
+    remaining = Counter(baseline)
+    new: List["Finding"] = []
+    grandfathered: List["Finding"] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

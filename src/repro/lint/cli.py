@@ -1,0 +1,211 @@
+"""The ``repro lint`` command.
+
+Usage::
+
+    python -m repro lint                      # whole tree vs baseline
+    python -m repro lint src/repro/phy        # subtree
+    python -m repro lint --json               # machine-readable report
+    python -m repro lint --write-baseline     # regenerate the baseline
+    python -m repro lint --list-rules         # rule catalogue
+
+Exit status: 0 when no *new* findings (baselined and pragma-suppressed
+findings are fine), 1 when new findings exist, 2 on usage or parse
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.lint.baseline import (
+    BASELINE_FILENAME,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.lint.checker import (
+    Finding,
+    LintSyntaxError,
+    check_file,
+)
+from repro.lint.rules import RULES
+
+JSON_SCHEMA = "repro/maclint@1"
+
+
+def repo_root() -> Path:
+    """The repository root (best effort: package parent, else cwd)."""
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "pyproject.toml").exists():
+        return candidate
+    return Path.cwd()
+
+
+def default_targets(root: Path) -> List[Path]:
+    source_tree = root / "src" / "repro"
+    if source_tree.is_dir():
+        return [source_tree]
+    return [Path.cwd()]
+
+
+def discover_files(targets: List[Path]) -> List[Path]:
+    """All ``.py`` files under the given files/directories, sorted."""
+    files: List[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(
+                path for path in sorted(target.rglob("*.py"))
+                if "__pycache__" not in path.parts)
+        else:
+            files.append(target)
+    seen = set()
+    unique: List[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def display_path(path: Path, root: Path) -> str:
+    """Root-relative POSIX path (stable fingerprints from any cwd)."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to check "
+                             "(default: src/repro)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help=f"baseline file (default: "
+                             f"{BASELINE_FILENAME} at the repo root)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every "
+                             "finding as new")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="grandfather all current findings into "
+                             "the baseline file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
+
+def _list_rules(as_json: bool) -> int:
+    if as_json:
+        print(json.dumps({
+            rule_id: {
+                "family": rule.family,
+                "name": rule.name,
+                "summary": rule.summary,
+                "rationale": rule.rationale,
+            } for rule_id, rule in sorted(RULES.items())
+        }, indent=2))
+        return 0
+    for rule_id, rule in sorted(RULES.items()):
+        print(f"{rule_id} [{rule.family}] {rule.name}")
+        print(f"    {rule.summary}")
+        print(f"    {rule.rationale}")
+    return 0
+
+
+def _collect(files: List[Path], root: Path,
+             ) -> Tuple[List[Finding], List[Finding], List[str]]:
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    errors: List[str] = []
+    for path in files:
+        shown = display_path(path, root)
+        try:
+            report = check_file(str(path), display_path=shown)
+        except LintSyntaxError as error:
+            errors.append(f"{shown}: syntax error: {error}")
+            continue
+        except OSError as error:
+            errors.append(f"{shown}: {error}")
+            continue
+        findings.extend(report.findings)
+        suppressed.extend(report.suppressed)
+        errors.extend(f"{shown}: {message}"
+                      for message in report.pragma_errors)
+    return findings, suppressed, errors
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _list_rules(args.json)
+
+    root = repo_root()
+    targets = ([Path(path) for path in args.paths]
+               if args.paths else default_targets(root))
+    missing = [str(path) for path in targets if not path.exists()]
+    if missing:
+        print(f"lint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    files = discover_files(targets)
+    findings, suppressed, errors = _collect(files, root)
+    if errors:
+        for message in errors:
+            print(f"lint: {message}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else root / BASELINE_FILENAME
+    if args.write_baseline:
+        count = write_baseline(str(baseline_path), findings)
+        print(f"lint: wrote {count} baseline finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    baseline: "Counter[str]" = Counter()
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = load_baseline(str(baseline_path))
+        except (ValueError, OSError, KeyError) as error:
+            print(f"lint: bad baseline {baseline_path}: {error}",
+                  file=sys.stderr)
+            return 2
+    new, grandfathered = partition(findings, baseline)
+
+    if args.json:
+        print(json.dumps({
+            "schema": JSON_SCHEMA,
+            "checked_files": len(files),
+            "new": [finding.to_json() for finding in new],
+            "baselined": [finding.to_json()
+                          for finding in grandfathered],
+            "suppressed": len(suppressed),
+            "ok": not new,
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.format())
+        status = "ok" if not new else f"{len(new)} new finding(s)"
+        print(f"lint: {len(files)} files checked, {status} "
+              f"({len(grandfathered)} baselined, "
+              f"{len(suppressed)} pragma-suppressed)")
+    return 1 if new else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="maclint: protocol-aware static analysis guarding "
+                    "determinism, parallel safety, and the paper's "
+                    "constants.")
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Inline suppression pragmas.
+
+Two forms are recognised, both as (part of) a ``#`` comment:
+
+* ``# maclint: disable=DET001,PROTO001`` -- suppress the named rules on
+  this source line only.
+* ``# maclint: disable-file=PROTO001`` -- suppress the named rules for
+  the whole file (place the comment anywhere, conventionally near the
+  top with a justification).
+
+Rule names may be full ids (``DET003``), whole families (``DET``), or
+``all``.  Unknown names are reported as pragma errors so typos cannot
+silently disable nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.rules import FAMILIES, RULES
+
+_PRAGMA_RE = re.compile(
+    r"#\s*maclint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+
+@dataclass
+class PragmaSet:
+    """Parsed suppressions for one file."""
+
+    file_rules: Set[str] = field(default_factory=set)
+    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled at ``line``."""
+        family = RULES[rule_id].family if rule_id in RULES else rule_id
+        for selector in ("all", family, rule_id):
+            if selector in self.file_rules:
+                return True
+            if selector in self.line_rules.get(line, ()):
+                return True
+        return False
+
+
+def _validate(names: List[str], line: int, errors: List[str]) -> Set[str]:
+    valid: Set[str] = set()
+    for name in names:
+        canonical = name.strip().upper() if name.lower() != "all" else "all"
+        if canonical == "all" or canonical in FAMILIES \
+                or canonical in RULES:
+            valid.add(canonical)
+        else:
+            errors.append(
+                f"line {line}: unknown rule {name!r} in maclint pragma")
+    return valid
+
+
+def _comments(source: str) -> Iterator[Tuple[int, str]]:
+    """(line, text) for every ``#`` comment token in ``source``.
+
+    Tokenizing (rather than scanning raw lines) keeps pragma text inside
+    string literals from being misread as a pragma.  Tokenization errors
+    are ignored here; the AST parse reports them properly.
+    """
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def parse_pragmas(source: str) -> PragmaSet:
+    """Extract all maclint pragmas from ``source`` comments."""
+    pragmas = PragmaSet()
+    for lineno, text in _comments(source):
+        if "maclint" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            if re.search(r"#\s*maclint\b", text):
+                pragmas.errors.append(
+                    f"line {lineno}: malformed maclint pragma "
+                    f"(expected '# maclint: disable=RULE,...' or "
+                    f"'# maclint: disable-file=RULE,...')")
+            continue
+        names = match.group("rules").split(",")
+        rules = _validate(names, lineno, pragmas.errors)
+        if match.group("kind") == "disable-file":
+            pragmas.file_rules |= rules
+        else:
+            pragmas.line_rules.setdefault(lineno, set()).update(rules)
+    return pragmas

@@ -140,7 +140,7 @@ class MultiCellNetwork:
             cell_cfg.data_slots_per_cycle, PAYLOAD_BYTES)
         traffic_rng = self.streams["addressing"]
         all_eins = sorted(self.directory)
-        for cell_index, run in enumerate(self.cells):
+        for run in self.cells:
             for subscriber in run.data_users:
                 def deliver(message: Message,
                             sub: DataSubscriber = subscriber) -> None:

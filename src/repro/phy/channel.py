@@ -28,7 +28,9 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.phy.errors import ErrorModel, OutageModel, PerfectChannelModel
 from repro.phy.rs import RS_64_48, ReedSolomon, RSDecodeFailure
+from repro.phy.timing import FORWARD_SYMBOL_RATE, REVERSE_SYMBOL_RATE
 from repro.sim.core import Simulator
+from repro.sim.rng import RandomStreams
 
 
 class CollisionError(Exception):
@@ -77,7 +79,8 @@ class Link:
                  codec: ReedSolomon = RS_64_48,
                  full_fidelity: bool = False):
         self.error_model = error_model or PerfectChannelModel()
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None \
+            else RandomStreams(0).stream("link-default")
         self.codec = codec
         self.full_fidelity = full_fidelity
         self.codewords_sent = 0
@@ -138,7 +141,8 @@ class ReverseChannel:
     a clean slot.
     """
 
-    def __init__(self, sim: Simulator, symbol_rate: float = 2400.0):
+    def __init__(self, sim: Simulator,
+                 symbol_rate: float = REVERSE_SYMBOL_RATE):
         self.sim = sim
         self.symbol_rate = symbol_rate
         self._active: List[Transmission] = []
@@ -196,7 +200,8 @@ class ForwardChannel:
     MAC's ACK/timeout machinery must survive.
     """
 
-    def __init__(self, sim: Simulator, symbol_rate: float = 3200.0):
+    def __init__(self, sim: Simulator,
+                 symbol_rate: float = FORWARD_SYMBOL_RATE):
         self.sim = sim
         self.symbol_rate = symbol_rate
         self._receivers: Dict[Any, "tuple[Link, DeliveryCallback]"] = {}

@@ -25,6 +25,8 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
+from repro.phy.timing import REVERSE_SYMBOL_RATE
+
 
 class ErrorModel:
     """Interface: mutate codeword symbols and/or decide outage."""
@@ -133,8 +135,8 @@ class GilbertElliottModel(ErrorModel):
         # Symbols that *would* have been transmitted in this interval; the
         # chain memory decays geometrically, so sample the state afresh
         # from the stationary distribution when the gap is long.
-        if duration * 2400 * max(self.p_good_to_bad,
-                                 self.p_bad_to_good) > 1.0:
+        if duration * REVERSE_SYMBOL_RATE * max(self.p_good_to_bad,
+                                                self.p_bad_to_good) > 1.0:
             bad = rng.random() < self.stationary_bad_probability
             self.state = self.BAD if bad else self.GOOD
 

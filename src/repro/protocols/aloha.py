@@ -11,11 +11,11 @@ the model doubles as a component test bed.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional
 
 from repro.protocols.base import DataTerminal, ProtocolStats, \
     resolve_contention
+from repro.sim.rng import RandomStreams
 
 
 class SlottedAloha:
@@ -29,7 +29,7 @@ class SlottedAloha:
             raise ValueError("need at least one terminal")
         if not 0.0 < transmit_probability <= 1.0:
             raise ValueError("transmit_probability must be in (0, 1]")
-        self.rng = random.Random(seed)
+        self.rng = RandomStreams(seed).stream("aloha")
         self.transmit_probability = transmit_probability
         self.terminals: List[DataTerminal] = [
             DataTerminal(index, arrival_probability)

@@ -16,7 +16,6 @@ the efficiency claim the survey highlights.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from typing import Deque, List, Optional
 
@@ -27,6 +26,7 @@ from repro.protocols.base import (
     VoiceTerminal,
     resolve_contention,
 )
+from repro.sim.rng import RandomStreams
 
 
 class DRMA:
@@ -42,7 +42,7 @@ class DRMA:
                  max_delay_frames: int = 2,
                  voice_model: Optional[VoiceModel] = None,
                  seed: int = 1):
-        self.rng = random.Random(seed)
+        self.rng = RandomStreams(seed).stream("drma")
         self.slots_per_frame = slots_per_frame
         self.minislots_per_slot = minislots_per_slot
         self.retransmission_probability = retransmission_probability

@@ -17,7 +17,6 @@ end of the reservation period.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from typing import Deque, List, Optional
 
@@ -28,6 +27,7 @@ from repro.protocols.base import (
     VoiceTerminal,
     resolve_contention,
 )
+from repro.sim.rng import RandomStreams
 
 
 class DynamicTDMA:
@@ -44,7 +44,7 @@ class DynamicTDMA:
                  max_delay_frames: int = 2,
                  voice_model: Optional[VoiceModel] = None,
                  seed: int = 1):
-        self.rng = random.Random(seed)
+        self.rng = RandomStreams(seed).stream("dtdma")
         self.reservation_slots = reservation_slots
         self.voice_slots = voice_slots
         self.data_slots = data_slots

@@ -24,10 +24,10 @@ mini-slots, so the RTS/CTS overhead is visible.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional
 
 from repro.protocols.base import DataTerminal, ProtocolStats
+from repro.sim.rng import RandomStreams
 
 
 class FAMA:
@@ -48,7 +48,7 @@ class FAMA:
             raise ValueError("persistence must be in (0, 1]")
         if data_minislots <= 0:
             raise ValueError("data_minislots must be positive")
-        self.rng = random.Random(seed)
+        self.rng = RandomStreams(seed).stream("fama")
         self.persistence = persistence
         self.data_minislots = data_minislots
         self.cts_minislots = cts_minislots

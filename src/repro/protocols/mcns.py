@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
+from repro.sim.rng import RandomStreams
 from repro.protocols.base import ProtocolStats, resolve_contention
 
 
@@ -88,7 +89,7 @@ class MCNS:
             raise ValueError("need at least one modem")
         if request_region >= minislots_per_map:
             raise ValueError("request region must leave room for data")
-        self.rng = random.Random(seed)
+        self.rng = RandomStreams(seed).stream("mcns")
         self.minislots_per_map = minislots_per_map
         self.request_region = request_region
         self.packet_minislots = packet_minislots

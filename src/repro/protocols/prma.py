@@ -18,7 +18,6 @@ loads" -- shows up directly in this model's throughput curve.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional
 
 from repro.protocols.base import (
@@ -28,6 +27,7 @@ from repro.protocols.base import (
     VoiceTerminal,
     resolve_contention,
 )
+from repro.sim.rng import RandomStreams
 
 
 class PRMA:
@@ -45,7 +45,7 @@ class PRMA:
                  seed: int = 1):
         if slots_per_frame <= 0:
             raise ValueError("slots_per_frame must be positive")
-        self.rng = random.Random(seed)
+        self.rng = RandomStreams(seed).stream("prma")
         self.slots_per_frame = slots_per_frame
         self.p_voice = p_voice
         self.p_data = p_data

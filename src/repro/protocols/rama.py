@@ -21,6 +21,7 @@ import random
 from collections import deque
 from typing import Deque, List, Optional
 
+from repro.sim.rng import RandomStreams
 from repro.protocols.base import (
     DataTerminal,
     ProtocolStats,
@@ -71,7 +72,7 @@ class RAMA:
                  max_delay_frames: int = 2,
                  voice_model: Optional[VoiceModel] = None,
                  seed: int = 1):
-        self.rng = random.Random(seed)
+        self.rng = RandomStreams(seed).stream("rama")
         self.auction_slots = auction_slots
         self.voice_slots = voice_slots
         self.data_slots = data_slots

@@ -22,12 +22,12 @@ deadline misses under a lossy channel can be measured (experiment X3).
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
 from repro.protocols.base import ProtocolStats, resolve_contention
+from repro.sim.rng import RandomStreams
 
 
 @dataclass
@@ -99,7 +99,7 @@ class RQMA:
                  rt_retransmission: bool = True,
                  request_persistence: float = 0.5,
                  seed: int = 1):
-        self.rng = random.Random(seed)
+        self.rng = RandomStreams(seed).stream("rqma")
         self.backlog_slots = backlog_slots
         self.request_slots = request_slots
         self.transmission_slots = transmission_slots

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Optional
 
@@ -19,7 +20,7 @@ class Store:
     a full store (when ``capacity`` is finite) blocks until space frees.
     """
 
-    def __init__(self, sim: "Simulator", capacity: float = float("inf")):
+    def __init__(self, sim: "Simulator", capacity: float = math.inf):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.sim = sim

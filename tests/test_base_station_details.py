@@ -31,7 +31,7 @@ class TestControlFieldConstruction:
         run.base_station._make_cf = capture
         run.sim.run(until=run.config.duration)
         checked = 0
-        for cycle, pair in captured.items():
+        for _cycle, pair in captured.items():
             if 1 not in pair or 2 not in pair:
                 continue
             cf1, cf2 = pair[1], pair[2]
