@@ -1,0 +1,70 @@
+"""CI perf guard: the calendar kernel must not regress vs the legacy heap.
+
+Raw points/s is host-dependent (CI runners differ by 2-3x in single-core
+throughput), so this guard measures a *ratio* on the same host in the
+same process: the quick fig8 sweep is timed under the calendar kernel
+and under the preserved legacy heap kernel, rounds interleaved so load
+spikes hit both kernels alike.  The calendar kernel must finish within
+``PERF_GUARD_TOLERANCE`` (default 1.25) of the legacy time -- i.e. a
+scheduler change that makes the new kernel >25% slower than the kernel
+it replaced fails CI, while host speed differences cancel out.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_guard.py
+    PERF_GUARD_ROUNDS=5 PERF_GUARD_TOLERANCE=1.1 \
+        PYTHONPATH=src python benchmarks/perf_guard.py
+
+Exit status: 0 when the ratio is within tolerance, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.engine import RunSpec, execute
+from repro.experiments.kernel_diff import legacy_variant
+from repro.experiments.runner import sweep_spec
+
+
+def _time_spec(spec: RunSpec) -> float:
+    started = time.perf_counter()
+    execute(spec, jobs=1, cache=False)
+    return time.perf_counter() - started
+
+
+def main() -> int:
+    rounds = int(os.environ.get("PERF_GUARD_ROUNDS", "3"))
+    tolerance = float(os.environ.get("PERF_GUARD_TOLERANCE", "1.25"))
+    base = sweep_spec(quick=True)
+    calendar_spec = RunSpec(name=f"{base.name}-calendar",
+                            points=base.points, reducer=None)
+    legacy_spec = legacy_variant(base)
+
+    # Warm both code paths (imports, first-call caches) off the clock.
+    _time_spec(calendar_spec)
+    _time_spec(legacy_spec)
+
+    calendar_best = min(_time_spec(calendar_spec) for _ in range(rounds))
+    legacy_best = min(_time_spec(legacy_spec) for _ in range(rounds))
+    ratio = calendar_best / legacy_best
+    points = len(base.points)
+    print(f"perf-guard: {points} points x {rounds} rounds (min): "
+          f"calendar {calendar_best:.3f}s "
+          f"({points / calendar_best:.1f} points/s), "
+          f"legacy {legacy_best:.3f}s "
+          f"({points / legacy_best:.1f} points/s), "
+          f"ratio {ratio:.2f} (tolerance {tolerance:.2f})")
+    if ratio > tolerance:
+        print(f"perf-guard: FAIL -- calendar kernel is {ratio:.2f}x the "
+              f"legacy time (allowed {tolerance:.2f}x); the scheduler "
+              f"hot path has regressed", file=sys.stderr)
+        return 1
+    print("perf-guard: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.core.config import CellConfig
@@ -61,29 +60,54 @@ from repro.phy.rs import RS_64_48
 from repro.sim.core import Simulator
 
 
-@dataclass
 class SlotResult:
-    """What the base station observed in one reverse data slot."""
+    """What the base station observed in one reverse data slot.
 
-    attempts: int = 0
-    collided: bool = False
-    received: bool = False
-    ack: Optional[AckEntry] = None
+    A plain ``__slots__`` class: one is created per occupied reverse
+    slot, every cycle, making construction cost part of the per-packet
+    hot path.
+    """
+
+    __slots__ = ("attempts", "collided", "received", "ack")
+
+    def __init__(self, attempts: int = 0, collided: bool = False,
+                 received: bool = False,
+                 ack: Optional[AckEntry] = None):
+        self.attempts = attempts
+        self.collided = collided
+        self.received = received
+        self.ack = ack
+
+    def __repr__(self) -> str:
+        return (f"SlotResult(attempts={self.attempts}, "
+                f"collided={self.collided}, received={self.received}, "
+                f"ack={self.ack!r})")
 
 
-@dataclass
 class CycleRecord:
     """The schedule the base station committed for one cycle."""
 
-    cycle: int
-    start: float
-    layout: timing.ReverseLayout
-    gps_assignment: List[Optional[int]]
-    data_assignment: List[Optional[int]]
-    contention_slots: List[int]
-    forward_assignment: List[Optional[int]]
-    cf2_listener: Optional[int]
-    grants: Dict[int, int] = field(default_factory=dict)
+    __slots__ = ("cycle", "start", "layout", "gps_assignment",
+                 "data_assignment", "contention_slots",
+                 "forward_assignment", "cf2_listener", "grants")
+
+    def __init__(self, cycle: int, start: float,
+                 layout: timing.ReverseLayout,
+                 gps_assignment: List[Optional[int]],
+                 data_assignment: List[Optional[int]],
+                 contention_slots: List[int],
+                 forward_assignment: List[Optional[int]],
+                 cf2_listener: Optional[int],
+                 grants: Optional[Dict[int, int]] = None):
+        self.cycle = cycle
+        self.start = start
+        self.layout = layout
+        self.gps_assignment = gps_assignment
+        self.data_assignment = data_assignment
+        self.contention_slots = contention_slots
+        self.forward_assignment = forward_assignment
+        self.cf2_listener = cf2_listener
+        self.grants = {} if grants is None else grants
 
     @property
     def last_data_slot(self) -> int:
@@ -209,8 +233,10 @@ class BaseStation:
                 cf2 = self._make_cf(record, which=2)
                 self._broadcast_cf(cf2, start=self.sim.now,
                                    duration=timing.CONTROL_FIELD_TIME)
+            assignment = record.forward_assignment
             for slot_index in range(1, timing.NUM_FORWARD_DATA_SLOTS):
-                self._schedule_forward_slot(record, slot_index)
+                if assignment[slot_index] is not None:
+                    self._schedule_forward_slot(record, slot_index)
             yield self.sim.timeout(timing.CYCLE_LENGTH - timing.CF2_OFFSET)
             self.cycle += 1
             self._prune(self.cycle - 4)
@@ -399,16 +425,20 @@ class BaseStation:
             record.start, record.layout, record.gps_assignment,
             record.data_assignment)
         margin = timing.MS_TURNAROUND_TIME
+        offsets = timing.FORWARD_SLOT_OFFSETS
+        my_reverse = reverse_tx.get(uid, ())
         for slot_index in range(1, timing.NUM_FORWARD_DATA_SLOTS):
             if demand <= 0:
                 break
             if record.forward_assignment[slot_index] is not None:
                 continue
-            offset = timing.forward_slot_offset(slot_index)
-            slot = Interval(record.start + offset,
-                            record.start + offset + timing.FORWARD_SLOT_TIME)
-            guarded = Interval(slot.start - margin, slot.end + margin)
-            if any(guarded.overlaps(tx) for tx in reverse_tx.get(uid, ())):
+            # Same float arithmetic as Interval(...).expanded(margin) so
+            # boundary comparisons stay bit-identical.
+            slot_start = record.start + offsets[slot_index]
+            guard_start = slot_start - margin
+            guard_end = (slot_start + timing.FORWARD_SLOT_TIME) + margin
+            if any(guard_start < tx.end and tx.start < guard_end
+                   for tx in my_reverse):
                 continue
             record.forward_assignment[slot_index] = uid
             demand -= 1
@@ -420,7 +450,7 @@ class BaseStation:
         uid = record.forward_assignment[slot_index]
         if uid is None:
             return
-        when = record.start + timing.forward_slot_offset(slot_index)
+        when = record.start + timing.FORWARD_SLOT_OFFSETS[slot_index]
         self.sim.call_at(when, lambda: self._transmit_forward(
             record, slot_index, when))
 
@@ -464,7 +494,9 @@ class BaseStation:
                     self.stats.gps_packets_delivered += 1
             return
         key = (frame.cycle, frame.slot_index)
-        result = self._slot_results.setdefault(key, SlotResult())
+        result = self._slot_results.get(key)
+        if result is None:
+            result = self._slot_results[key] = SlotResult()
         result.attempts += 1
         if transmission.collided:
             result.collided = True

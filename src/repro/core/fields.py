@@ -102,6 +102,16 @@ class ControlFields:
     def __post_init__(self) -> None:
         if self.which not in (1, 2):
             raise ValueError(f"which must be 1 or 2, got {self.which}")
+        # Lazy derived-view caches.  A control-field set is immutable once
+        # built (the base station hands each receiver the same object and
+        # nobody writes to the schedules), but every subscriber in the cell
+        # re-derives the same views from it; caching them here turns ~10
+        # identical recomputations per set into one.  Not dataclass fields:
+        # equality/repr must keep comparing the wire content only.
+        self._layout_cache: Optional[timing.ReverseLayout] = None
+        self._contention_cache: Optional[List[int]] = None
+        self._reverse_map: Optional[dict] = None
+        self._forward_map: Optional[dict] = None
 
     # -- derived views ------------------------------------------------------
 
@@ -115,7 +125,11 @@ class ControlFields:
         return 1 if self.active_gps_users > timing.FORMAT2_GPS_SLOTS else 2
 
     def layout(self) -> timing.ReverseLayout:
-        return timing.reverse_layout(self.active_gps_users)
+        layout = self._layout_cache
+        if layout is None:
+            layout = timing.reverse_layout(self.active_gps_users)
+            self._layout_cache = layout
+        return layout
 
     def contention_slots(self) -> List[int]:
         """Indices of unassigned reverse data slots (= contention slots).
@@ -125,11 +139,44 @@ class ControlFields:
         its ACK (which only CF2 carries) nor the next schedule.  Only a
         subscriber *assigned* that slot -- which therefore knows to listen
         to CF2 -- may use it (Section 3.4, Problem 2).
+
+        The returned list is a shared cache; callers must not mutate it.
         """
-        layout = self.layout()
-        return [index for index in range(layout.data_slots - 1)
-                if index >= len(self.reverse_schedule)
-                or self.reverse_schedule[index] is None]
+        slots = self._contention_cache
+        if slots is None:
+            layout = self.layout()
+            reverse_schedule = self.reverse_schedule
+            known = len(reverse_schedule)
+            slots = [index for index in range(layout.data_slots - 1)
+                     if index >= known or reverse_schedule[index] is None]
+            self._contention_cache = slots
+        return slots
+
+    def reverse_slots_of(self, uid: int) -> Tuple[int, ...]:
+        """Reverse data slot indices assigned to ``uid`` (cached per set)."""
+        table = self._reverse_map
+        if table is None:
+            table = {}
+            for index, owner in enumerate(self.reverse_schedule):
+                if owner is not None:
+                    table.setdefault(owner, []).append(index)
+            table = {owner: tuple(indices)
+                     for owner, indices in table.items()}
+            self._reverse_map = table
+        return table.get(uid, ())
+
+    def forward_slots_of(self, uid: int) -> Tuple[int, ...]:
+        """Forward data slot indices assigned to ``uid`` (cached per set)."""
+        table = self._forward_map
+        if table is None:
+            table = {}
+            for index, owner in enumerate(self.forward_schedule):
+                if owner is not None:
+                    table.setdefault(owner, []).append(index)
+            table = {owner: tuple(indices)
+                     for owner, indices in table.items()}
+            self._forward_map = table
+        return table.get(uid, ())
 
     # -- wire format ----------------------------------------------------------
 

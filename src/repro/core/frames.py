@@ -10,7 +10,6 @@ reverse-engineering them from timestamps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Optional
 
 SLOT_GPS = "gps"
@@ -22,30 +21,56 @@ KIND_RESERVATION = "reservation"
 KIND_REGISTRATION = "registration"
 
 
-@dataclass
 class UplinkFrame:
-    """A reverse-channel transmission's payload."""
+    """A reverse-channel transmission's payload.
 
-    kind: str  # one of the KIND_* constants
-    cycle: int
-    slot_kind: str  # SLOT_GPS or SLOT_DATA
-    slot_index: int
-    packet: Any
-    uid: Optional[int] = None
-    contention: bool = False
-    #: When the sender first tried to get this request through (for
-    #: reservation/registration latency measurements).
-    first_attempt_time: float = 0.0
-    #: Number of the cycle in which the first attempt happened.
-    first_attempt_cycle: int = 0
+    A plain ``__slots__`` class: one is allocated per reverse-channel
+    transmission, which makes frame construction one of the hottest
+    allocation sites in a cell run.
+    """
+
+    __slots__ = ("kind", "cycle", "slot_kind", "slot_index", "packet",
+                 "uid", "contention", "first_attempt_time",
+                 "first_attempt_cycle")
+
+    def __init__(self, kind: str, cycle: int, slot_kind: str,
+                 slot_index: int, packet: Any,
+                 uid: Optional[int] = None, contention: bool = False,
+                 first_attempt_time: float = 0.0,
+                 first_attempt_cycle: int = 0):
+        self.kind = kind  # one of the KIND_* constants
+        self.cycle = cycle
+        self.slot_kind = slot_kind  # SLOT_GPS or SLOT_DATA
+        self.slot_index = slot_index
+        self.packet = packet
+        self.uid = uid
+        self.contention = contention
+        #: When the sender first tried to get this request through (for
+        #: reservation/registration latency measurements).
+        self.first_attempt_time = first_attempt_time
+        #: Number of the cycle in which the first attempt happened.
+        self.first_attempt_cycle = first_attempt_cycle
+
+    def __repr__(self) -> str:
+        return (f"UplinkFrame(kind={self.kind!r}, cycle={self.cycle}, "
+                f"slot_kind={self.slot_kind!r}, "
+                f"slot_index={self.slot_index}, uid={self.uid}, "
+                f"contention={self.contention})")
 
 
-@dataclass
 class DownlinkFrame:
     """A forward-channel transmission's payload."""
 
-    kind: str  # 'cf1', 'cf2', or 'data'
-    cycle: int
-    slot_index: int = -1
-    uid: Optional[int] = None  # destination for data frames
-    packet: Any = None
+    __slots__ = ("kind", "cycle", "slot_index", "uid", "packet")
+
+    def __init__(self, kind: str, cycle: int, slot_index: int = -1,
+                 uid: Optional[int] = None, packet: Any = None):
+        self.kind = kind  # 'cf1', 'cf2', or 'data'
+        self.cycle = cycle
+        self.slot_index = slot_index
+        self.uid = uid  # destination for data frames
+        self.packet = packet
+
+    def __repr__(self) -> str:
+        return (f"DownlinkFrame(kind={self.kind!r}, cycle={self.cycle}, "
+                f"slot_index={self.slot_index}, uid={self.uid})")

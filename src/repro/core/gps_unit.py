@@ -33,6 +33,10 @@ from repro.phy.channel import Transmission
 class GpsSubscriber(SubscriberBase):
     """A bus-mounted GPS unit."""
 
+    __slots__ = ("report_period", "_pending_report", "_seq",
+                 "_last_tx_time", "_missing_cycles", "reports_generated",
+                 "reports_superseded")
+
     service = SERVICE_GPS
 
     def __init__(self, *args, report_period: Optional[float] = None,

@@ -14,7 +14,7 @@ or retransmitted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.bits import BitReader, BitWriter
@@ -53,36 +53,49 @@ def _check_uid(uid: int) -> None:
         raise ValueError(f"user id {uid} out of range [0, 62]")
 
 
-@dataclass
 class DataPacket:
     """A regular uplink/downlink data packet (one RS codeword).
 
     Header layout (32 bits):
     uid:6  type:2  piggyback:4  seq:12  payload_len:6  more:1  pad:1
+
+    A ``__slots__`` class: one is allocated per uplink fragment and per
+    downlink delivery, so construction is hot.
     """
 
-    uid: int
-    seq: int
-    payload_len: int  # bytes actually used, <= PAYLOAD_BYTES
-    piggyback: int = 0  # additional slots requested (implicit reservation)
-    more: bool = False  # further fragments of the same message follow
-    message_id: int = -1  # simulation-level bookkeeping, not on the air
-    created_at: float = 0.0  # simulation-level bookkeeping
-    #: Destination EIN for inter-cell forwarding.  Simulation-level: the
-    #: paper gives no network-layer wire format, so addressing rides as
-    #: metadata (in a real deployment it would occupy the first payload
-    #: bytes of the message).
-    destination_ein: Optional[int] = None
-    payload: bytes = b""
+    __slots__ = ("uid", "seq", "payload_len", "piggyback", "more",
+                 "message_id", "created_at", "destination_ein", "payload")
 
-    def __post_init__(self) -> None:
-        _check_uid(self.uid)
-        if not 0 <= self.payload_len <= PAYLOAD_BYTES:
-            raise ValueError(f"payload_len {self.payload_len} out of range")
-        if not 0 <= self.piggyback <= MAX_PIGGYBACK:
-            raise ValueError(f"piggyback {self.piggyback} out of range")
-        if not 0 <= self.seq <= MAX_SEQ:
-            raise ValueError(f"seq {self.seq} out of range")
+    def __init__(self, uid: int, seq: int, payload_len: int,
+                 piggyback: int = 0, more: bool = False,
+                 message_id: int = -1, created_at: float = 0.0,
+                 destination_ein: Optional[int] = None,
+                 payload: bytes = b""):
+        _check_uid(uid)
+        if not 0 <= payload_len <= PAYLOAD_BYTES:
+            raise ValueError(f"payload_len {payload_len} out of range")
+        if not 0 <= piggyback <= MAX_PIGGYBACK:
+            raise ValueError(f"piggyback {piggyback} out of range")
+        if not 0 <= seq <= MAX_SEQ:
+            raise ValueError(f"seq {seq} out of range")
+        self.uid = uid
+        self.seq = seq
+        self.payload_len = payload_len  # bytes actually used
+        self.piggyback = piggyback  # extra slots requested (implicit resv.)
+        self.more = more  # further fragments of the same message follow
+        self.message_id = message_id  # simulation-level bookkeeping
+        self.created_at = created_at  # simulation-level bookkeeping
+        #: Destination EIN for inter-cell forwarding.  Simulation-level:
+        #: the paper gives no network-layer wire format, so addressing
+        #: rides as metadata (in a real deployment it would occupy the
+        #: first payload bytes of the message).
+        self.destination_ein = destination_ein
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (f"DataPacket(uid={self.uid}, seq={self.seq}, "
+                f"payload_len={self.payload_len}, "
+                f"piggyback={self.piggyback}, more={self.more})")
 
     def encode(self) -> bytes:
         """Serialize into the 48 information bytes of one RS codeword."""
@@ -186,28 +199,35 @@ class RegistrationPacket:
         return cls(ein=ein, service=service)
 
 
-@dataclass
 class GPSPacket:
     """A 72-bit GPS location report (Section 2.1).
 
     Layout: uid:6 seq:10 latitude:28 longitude:28 = 72 bits.  GPS packets
     are never retransmitted; a corrupted report is simply dropped.
+
+    A ``__slots__`` class: every active GPS unit allocates one per cycle.
     """
 
-    uid: int
-    seq: int
-    latitude: int = 0
-    longitude: int = 0
-    created_at: float = 0.0  # simulation-level bookkeeping
+    __slots__ = ("uid", "seq", "latitude", "longitude", "created_at")
 
-    def __post_init__(self) -> None:
-        _check_uid(self.uid)
-        if not 0 <= self.seq < (1 << 10):
-            raise ValueError(f"seq {self.seq} out of range")
-        for name, value in (("latitude", self.latitude),
-                            ("longitude", self.longitude)):
-            if not 0 <= value < (1 << 28):
-                raise ValueError(f"{name} {value} out of range")
+    def __init__(self, uid: int, seq: int, latitude: int = 0,
+                 longitude: int = 0, created_at: float = 0.0):
+        _check_uid(uid)
+        if not 0 <= seq < (1 << 10):
+            raise ValueError(f"seq {seq} out of range")
+        if not 0 <= latitude < (1 << 28):
+            raise ValueError(f"latitude {latitude} out of range")
+        if not 0 <= longitude < (1 << 28):
+            raise ValueError(f"longitude {longitude} out of range")
+        self.uid = uid
+        self.seq = seq
+        self.latitude = latitude
+        self.longitude = longitude
+        self.created_at = created_at  # simulation-level bookkeeping
+
+    def __repr__(self) -> str:
+        return (f"GPSPacket(uid={self.uid}, seq={self.seq}, "
+                f"created_at={self.created_at})")
 
     def encode(self) -> bytes:
         writer = BitWriter()

@@ -19,19 +19,31 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.phy import timing
+from repro.phy.intervals import spans_overlap
 
 TX = "tx"
 RX = "rx"
 
 
-@dataclass(frozen=True)
 class RadioClaim:
-    """One scheduled use of the radio."""
+    """One scheduled use of the radio.
 
-    kind: str  # TX or RX
-    start: float
-    end: float
-    label: str = ""
+    A plain ``__slots__`` class: subscribers record a claim for every
+    control-field reception and every scheduled slot, making this one of
+    the most-constructed objects in a cell run.
+    """
+
+    __slots__ = ("kind", "start", "end", "label")
+
+    def __init__(self, kind: str, start: float, end: float, label: str = ""):
+        self.kind = kind  # TX or RX
+        self.start = start
+        self.end = end
+        self.label = label
+
+    def __repr__(self) -> str:
+        return (f"RadioClaim(kind={self.kind!r}, start={self.start!r}, "
+                f"end={self.end!r}, label={self.label!r})")
 
 
 @dataclass(frozen=True)
@@ -60,18 +72,21 @@ class HalfDuplexRadio:
             raise ValueError(f"kind must be 'tx' or 'rx', got {kind!r}")
         if end <= start:
             raise ValueError(f"empty interval [{start}, {end})")
-        claim = RadioClaim(kind=kind, start=start, end=end, label=label)
+        claim = RadioClaim(kind, start, end, label)
+        turnaround = self.turnaround
+        audit = self._audit_pair
         for other in reversed(self._claims):
             # Claims are appended in loosely increasing time order; stop
             # scanning once we are past any possible conflict window.
-            if other.end + self.turnaround <= start:
+            if other.end + turnaround <= start:
                 break
-            self._audit_pair(other, claim)
+            audit(other, claim)
         self._claims.append(claim)
         return claim
 
     def _audit_pair(self, first: RadioClaim, second: RadioClaim) -> None:
-        overlap = (first.start < second.end and second.start < first.end)
+        overlap = spans_overlap(first.start, first.end,
+                                second.start, second.end)
         if overlap:
             if first.kind == second.kind == RX:
                 return  # hearing two broadcasts at once is fine

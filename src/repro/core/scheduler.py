@@ -20,10 +20,10 @@ Three pieces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.phy import timing
+from repro.phy.intervals import spans_overlap
 
 
 class RoundRobinScheduler:
@@ -90,8 +90,9 @@ class RoundRobinScheduler:
         placed contiguously (slot lumping, Section 3.5) in grant order.
         """
         assignment: List[Optional[int]] = [None] * data_slots
+        blocked = set(contention_slots)
         free = [index for index in range(data_slots)
-                if index not in set(contention_slots)]
+                if index not in blocked]
         cursor = 0
         for uid, count in grants.items():
             for _ in range(count):
@@ -102,18 +103,37 @@ class RoundRobinScheduler:
         return assignment
 
 
-@dataclass(frozen=True)
 class Interval:
-    """A closed-open time interval [start, end)."""
+    """A closed-open time interval [start, end).
 
-    start: float
-    end: float
+    A plain ``__slots__`` class rather than a frozen dataclass: the base
+    station builds one per scheduled reverse slot every cycle, and
+    ``object.__setattr__``-based frozen construction dominated the
+    schedule-build profile.
+    """
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: float, end: float):
+        self.start = start
+        self.end = end
 
     def expanded(self, margin: float) -> "Interval":
         return Interval(self.start - margin, self.end + margin)
 
     def overlaps(self, other: "Interval") -> bool:
-        return self.start < other.end and other.start < self.end
+        return spans_overlap(self.start, self.end, other.start, other.end)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.start == other.start and self.end == other.end
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end))
+
+    def __repr__(self) -> str:
+        return f"Interval(start={self.start!r}, end={self.end!r})"
 
 
 class ForwardScheduler:
@@ -145,38 +165,54 @@ class ForwardScheduler:
             Absolute start time of the forward cycle.
         """
         active = sorted(uid for uid, demand in demands.items() if demand > 0)
-        known = set(self._ring)
+        ring = self._ring
+        known = set(ring)
         for uid in active:
             if uid not in known:
-                self._ring.append(uid)
+                ring.append(uid)
                 known.add(uid)
         remaining = dict(demands)
         assignment: List[Optional[int]] = [None] * timing.NUM_FORWARD_DATA_SLOTS
-        if not self._ring:
+        # Nothing demanded means no slot can ever be chosen and the
+        # rotation pointer never moves: skip the 37-slot ring scan.
+        open_demand = sum(d for d in remaining.values() if d > 0)
+        if not ring or open_demand == 0:
             return assignment
         margin = timing.MS_TURNAROUND_TIME
+        slot_time = timing.FORWARD_SLOT_TIME
+        offsets = timing.FORWARD_SLOT_OFFSETS
+        ring_size = len(ring)
+        next_index = self._next_index
         for slot_index in range(timing.NUM_FORWARD_DATA_SLOTS):
-            offset = timing.forward_slot_offset(slot_index)
-            slot = Interval(cycle_start + offset,
-                            cycle_start + offset + timing.FORWARD_SLOT_TIME)
+            # Same float arithmetic as Interval(...).expanded(margin) so
+            # boundary comparisons stay bit-identical.
+            slot_start = cycle_start + offsets[slot_index]
+            guard_start = slot_start - margin
+            guard_end = (slot_start + slot_time) + margin
             chosen = None
-            for step in range(len(self._ring)):
-                uid = self._ring[(self._next_index + step) % len(self._ring)]
+            for step in range(ring_size):
+                uid = ring[(next_index + step) % ring_size]
                 if remaining.get(uid, 0) <= 0:
                     continue
                 if slot_index == 0 and uid == cf2_listener:
                     continue
-                guarded = slot.expanded(margin)
-                if any(guarded.overlaps(tx)
-                       for tx in reverse_tx.get(uid, ())):
+                conflict = False
+                for tx in reverse_tx.get(uid, ()):
+                    if guard_start < tx.end and tx.start < guard_end:
+                        conflict = True
+                        break
+                if conflict:
                     continue
                 chosen = uid
-                self._next_index = ((self._next_index + step + 1)
-                                    % len(self._ring))
+                next_index = (next_index + step + 1) % ring_size
                 break
             if chosen is not None:
                 assignment[slot_index] = chosen
                 remaining[chosen] -= 1
+                open_demand -= 1
+                if open_demand == 0:
+                    break
+        self._next_index = next_index
         return assignment
 
 

@@ -77,7 +77,19 @@ GPS_ON_AIR = timing.GPS_SLOT_TIME - timing.GUARD_TIME
 
 
 class SubscriberBase:
-    """Registration machinery shared by data and GPS subscribers."""
+    """Registration machinery shared by data and GPS subscribers.
+
+    Per-subscriber hot state lives on ``__slots__``: a cell holds a dozen
+    subscribers, each dispatching on every control-field set, and
+    dict-free attribute access shaves the per-event constant.  Subclasses
+    declare their own slots for their additional state.
+    """
+
+    __slots__ = ("sim", "config", "ein", "reverse", "forward_link",
+                 "reverse_link", "stats", "rng", "entry_time", "name",
+                 "state", "uid", "radio", "activated_at",
+                 "forward_channel", "alive", "crashes",
+                 "recovery_started_at", "_cf2_cycle", "_registration")
 
     service = SERVICE_DATA
 
@@ -162,7 +174,12 @@ class SubscriberBase:
             self._on_cf_lost(cf)
             return
         self._handle_cf(cf, listen_end)
-        self.radio.prune(self.sim.now - 2 * timing.CYCLE_LENGTH)
+        # Prune only once the claim list has grown: the audit scan in
+        # ``claim`` stops at the turnaround horizon regardless, so the
+        # only job of pruning is bounding memory.
+        radio = self.radio
+        if radio.claim_count > 64:
+            radio.prune(self.sim.now - 2 * timing.CYCLE_LENGTH)
 
     # -- hooks for subclasses -------------------------------------------------------
 
@@ -254,20 +271,22 @@ class SubscriberBase:
         margin = timing.MS_TURNAROUND_TIME
         my_forward = []
         if self.uid is not None:
-            for index, uid in enumerate(cf.forward_schedule):
-                if uid == self.uid:
-                    start = timing.forward_slot_offset(index)
-                    my_forward.append(
-                        (start, start + timing.FORWARD_SLOT_TIME))
+            for index in cf.forward_slots_of(self.uid):
+                start = timing.FORWARD_SLOT_OFFSETS[index]
+                my_forward.append(
+                    (start, start + timing.FORWARD_SLOT_TIME))
         eligible = []
+        earliest = listen_end + margin - 1e-9
+        data_offsets = layout.data_offsets
         for index in cf.contention_slots():
-            start = layout.data_offsets[index]
-            if start < listen_end + margin - 1e-9:
+            start = data_offsets[index]
+            if start < earliest:
                 continue
-            end = start + DATA_ON_AIR
-            if any(start - margin < fwd_end and fwd_start < end + margin
-                   for fwd_start, fwd_end in my_forward):
-                continue
+            if my_forward:
+                end = start + DATA_ON_AIR
+                if any(start - margin < fwd_end and fwd_start < end + margin
+                       for fwd_start, fwd_end in my_forward):
+                    continue
             eligible.append(index)
         if not eligible:
             return None
@@ -394,6 +413,11 @@ class SubscriberBase:
 class DataSubscriber(SubscriberBase):
     """An active non-real-time (e-mail) subscriber."""
 
+    __slots__ = ("queue", "inflight", "_seq", "_backoff_cycles",
+                 "_pending_request", "_assigned_keys", "_assigned_nacks",
+                 "_forward_seq", "messages_submitted",
+                 "on_message_received")
+
     service = SERVICE_DATA
 
     def __init__(self, *args, **kwargs):
@@ -490,9 +514,7 @@ class DataSubscriber(SubscriberBase):
             # evicted; start re-registering this very cycle.
             self._attempt_registration(cf, listen_end)
             return
-        my_slots = [index for index, uid
-                    in enumerate(cf.reverse_schedule)
-                    if uid == self.uid]
+        my_slots = cf.reverse_slots_of(self.uid)
         layout = cf.layout()
         for slot_index in my_slots:
             self._schedule_packet_tx(cf, slot_index)
@@ -547,6 +569,8 @@ class DataSubscriber(SubscriberBase):
     # -- ACK processing ------------------------------------------------------------
 
     def _process_acks(self, cf: ControlFields) -> None:
+        if not self.inflight:
+            return
         prev_cycle = cf.cycle - 1
         pending_keys = sorted(
             [key for key in self.inflight if key[0] <= prev_cycle],
@@ -696,13 +720,16 @@ class DataSubscriber(SubscriberBase):
     # -- forward channel ------------------------------------------------------------
 
     def _claim_forward_slots(self, cf: ControlFields) -> None:
+        my_slots = cf.forward_slots_of(self.uid)
+        if not my_slots:
+            return
         t0 = cf.cycle_start
-        for slot_index, uid in enumerate(cf.forward_schedule):
-            if uid != self.uid:
-                continue
-            start = t0 + timing.forward_slot_offset(slot_index)
-            self.radio.claim(RX, start, start + timing.FORWARD_SLOT_TIME,
-                             f"fwd@{slot_index}")
+        offsets = timing.FORWARD_SLOT_OFFSETS
+        slot_time = timing.FORWARD_SLOT_TIME
+        claim = self.radio.claim
+        for slot_index in my_slots:
+            start = t0 + offsets[slot_index]
+            claim(RX, start, start + slot_time, f"fwd@{slot_index}")
 
     def _on_forward_data(self, frame: DownlinkFrame, ok: bool) -> None:
         if frame.uid != self.uid or self.state != ACTIVE:

@@ -47,6 +47,7 @@ from repro.experiments import (
     fig11_fairness,
     fig12_gains,
     gps_qos,
+    kernel_diff,
     qos_baselines,
     registration,
     robustness,
@@ -73,6 +74,7 @@ EXPERIMENTS = {
     "qos-mcns": qos_baselines.run_mcns,
     "ablation": ablation.run,
     "calibration": calibration.run,
+    "kernel-diff": kernel_diff.run,
 }
 
 

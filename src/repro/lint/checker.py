@@ -33,6 +33,18 @@ CORE_PACKAGES: Set[str] = {"sim", "core", "phy", "protocols", "traffic"}
 DET_EXEMPT_MODULES: Set[Tuple[str, ...]] = {("sim", "rng")}
 PROTO_EXEMPT_MODULES: Set[Tuple[str, ...]] = {("phy", "timing")}
 
+#: Hot-path modules *outside* the core packages.  These sit on the
+#: per-event or per-cycle path even though their packages are otherwise
+#: engine/CLI-side: the profiler and metrics registry are called from
+#: inside the simulation loop, and the Welford accumulators in
+#: ``metrics/stats.py`` run once per delivered packet.  The HOT family
+#: (no console/file I/O on the hot path) therefore applies to them too.
+HOT_EXTRA_MODULES: Set[Tuple[str, ...]] = {
+    ("obs", "profiler"),
+    ("obs", "registry"),
+    ("metrics", "stats"),
+}
+
 #: The linter itself is exempt from every family (its rule tables spell
 #: out the very literals PROTO001 hunts for).
 EXEMPT_PACKAGES: Set[str] = {"lint"}
@@ -138,7 +150,7 @@ def scope_for_path(path: str) -> Scope:
         par=True,
         proto=parts not in PROTO_EXEMPT_MODULES,
         proto_core=in_core,
-        hot=in_core,
+        hot=in_core or parts in HOT_EXTRA_MODULES,
     )
 
 

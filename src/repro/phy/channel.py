@@ -23,10 +23,10 @@ Two fidelity levels share these semantics:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.phy.errors import ErrorModel, OutageModel, PerfectChannelModel
+from repro.phy.intervals import spans_overlap
 from repro.phy.rs import RS_64_48, ReedSolomon, RSDecodeFailure
 from repro.phy.timing import FORWARD_SYMBOL_RATE, REVERSE_SYMBOL_RATE
 from repro.sim.core import Simulator
@@ -37,7 +37,6 @@ class CollisionError(Exception):
     """Raised internally when overlapping reverse transmissions collide."""
 
 
-@dataclass
 class Transmission:
     """One on-air transmission.
 
@@ -47,28 +46,40 @@ class Transmission:
     case the receiving link corrupts and decodes them, and the decoded
     information bytes are exposed to the receiver's callback via
     ``decoded_info`` (set per receiver just before its callback runs).
+
+    A plain ``__slots__`` class (one is allocated for every slot
+    transmission and every forward broadcast); ``end`` is precomputed at
+    construction since the collision scan reads it repeatedly.
     """
 
-    sender: Any
-    payload: Any
-    start: float
-    duration: float
-    kind: str = "data"
-    codewords: Optional[List[bytes]] = None
-    collided: bool = field(default=False, init=False)
-    lost: bool = field(default=False, init=False)
-    decoded_info: Optional[bytes] = field(default=None, init=False)
+    __slots__ = ("sender", "payload", "start", "duration", "kind",
+                 "codewords", "end", "collided", "lost", "decoded_info")
+
+    def __init__(self, sender: Any, payload: Any, start: float,
+                 duration: float, kind: str = "data",
+                 codewords: Optional[List[bytes]] = None):
+        self.sender = sender
+        self.payload = payload
+        self.start = start
+        self.duration = duration
+        self.kind = kind
+        self.codewords = codewords
+        self.end = start + duration
+        self.collided = False
+        self.lost = False
+        self.decoded_info: Optional[bytes] = None
 
     @property
     def has_real_codewords(self) -> bool:
         return bool(self.codewords) and len(self.codewords[0]) > 0
 
-    @property
-    def end(self) -> float:
-        return self.start + self.duration
-
     def overlaps(self, other: "Transmission") -> bool:
-        return self.start < other.end and other.start < self.end
+        return spans_overlap(self.start, self.end, other.start, other.end)
+
+    def __repr__(self) -> str:
+        return (f"Transmission(sender={self.sender!r}, kind={self.kind!r}, "
+                f"start={self.start!r}, duration={self.duration!r}, "
+                f"collided={self.collided}, lost={self.lost})")
 
 
 class Link:
@@ -85,6 +96,10 @@ class Link:
         self.full_fidelity = full_fidelity
         self.codewords_sent = 0
         self.codewords_lost = 0
+        # The all-zero information word's codeword, used by survives():
+        # encode() makes no RNG draws, so encoding once here instead of
+        # per call is draw-for-draw identical.
+        self._clean_codeword = codec.encode(bytes(codec.k))
 
     def survives(self, num_codewords: int = 1) -> bool:
         """Decide whether a transmission of ``num_codewords`` survives.
@@ -93,20 +108,27 @@ class Link:
         than encoded bits: each codeword must individually survive.
         """
         self.codewords_sent += num_codewords
-        if isinstance(self.error_model, PerfectChannelModel):
+        # Dispatch on the *current* model each call: a FaultInjector can
+        # swap ``error_model`` at runtime.
+        error_model = self.error_model
+        if isinstance(error_model, PerfectChannelModel):
             return True
-        if isinstance(self.error_model, OutageModel):
+        rng = self.rng
+        if isinstance(error_model, OutageModel):
             for _ in range(num_codewords):
-                if self.error_model.is_lost(self.rng):
+                if error_model.is_lost(rng):
                     self.codewords_lost += num_codewords
                     return False
             return True
-        # Symbol-level model: run dummy codewords through the real codec.
+        # Symbol-level model: corrupt dummy codewords; the reference-aware
+        # decoder skips the full RS machinery unless the error pattern
+        # exceeds the correction bound (see ReedSolomon.decode_reference).
+        clean = self._clean_codeword
+        decode_reference = self.codec.decode_reference
         for _ in range(num_codewords):
-            clean = self.codec.encode(bytes(self.codec.k))
-            received = self.error_model.corrupt(clean, self.rng)
+            received = error_model.corrupt(clean, rng)
             try:
-                self.codec.decode(received)
+                decode_reference(received, clean)
             except RSDecodeFailure:
                 self.codewords_lost += num_codewords
                 return False
@@ -114,13 +136,22 @@ class Link:
 
     def deliver_codewords(self,
                           codewords: List[bytes]) -> Optional[List[bytes]]:
-        """Corrupt + decode real codewords; None when any codeword is lost."""
+        """Corrupt + decode real codewords; None when any codeword is lost.
+
+        Each transmitted codeword is its own decode reference, so clean
+        or lightly-corrupted words skip the full RS decode entirely;
+        heavy corruption falls back to the real decoder (the oracle for
+        failures *and* miscorrections).
+        """
         self.codewords_sent += len(codewords)
+        error_model = self.error_model
+        rng = self.rng
+        decode_reference = self.codec.decode_reference
         decoded: List[bytes] = []
         for codeword in codewords:
-            received = self.error_model.corrupt(codeword, self.rng)
+            received = error_model.corrupt(codeword, rng)
             try:
-                decoded.append(self.codec.decode(received))
+                decoded.append(decode_reference(received, codeword))
             except RSDecodeFailure:
                 self.codewords_lost += len(codewords)
                 return None

@@ -116,12 +116,34 @@ class GilbertElliottModel(ErrorModel):
 
     def corrupt(self, codeword: Sequence[int],
                 rng: random.Random) -> List[int]:
+        # Hot path: _step() is inlined and the attribute loads hoisted;
+        # the RNG draw sequence is exactly one state draw per symbol
+        # followed by an error draw (plus a value draw on error), the
+        # same order the naive per-symbol _step loop produced.
         out = list(codeword)
+        state = self.state
+        bad = self.BAD
+        p_good = self.p_good
+        p_bad = self.p_bad
+        p_g2b = self.p_good_to_bad
+        p_b2g = self.p_bad_to_good
+        random_ = rng.random
+        randrange = rng.randrange
         for index in range(len(out)):
-            self._step(rng)
-            p = self.p_bad if self.state == self.BAD else self.p_good
-            if rng.random() < p:
-                out[index] ^= rng.randrange(1, 256)
+            if state == bad:
+                if random_() < p_b2g:
+                    state = self.GOOD
+                    p = p_good
+                else:
+                    p = p_bad
+            elif random_() < p_g2b:
+                state = bad
+                p = p_bad
+            else:
+                p = p_good
+            if random_() < p:
+                out[index] ^= randrange(1, 256)
+        self.state = state
         return out
 
     def advance(self, duration: float, rng: random.Random) -> None:

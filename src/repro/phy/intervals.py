@@ -1,0 +1,23 @@
+"""Shared half-open interval arithmetic.
+
+Every overlap question in the simulator -- reverse-channel collision
+detection (:class:`repro.phy.channel.Transmission`), forward-slot
+guard checks (:class:`repro.core.scheduler.Interval`), and the
+half-duplex radio audit -- uses the same half-open convention:
+``[start, end)`` spans that merely touch (one ends exactly where the
+other begins) do **not** overlap.  This module is the single home of
+that predicate so the convention cannot drift between layers.
+"""
+
+from __future__ import annotations
+
+
+def spans_overlap(a_start: float, a_end: float,
+                  b_start: float, b_end: float) -> bool:
+    """True when half-open spans ``[a_start, a_end)`` and
+    ``[b_start, b_end)`` intersect.
+
+    Edge-touch semantics: a span ending exactly at the other's start
+    does not overlap it.
+    """
+    return a_start < b_end and b_start < a_end

@@ -141,6 +141,16 @@ CF2_OFFSET = FORWARD_SLOT0_OFFSET + FORWARD_SLOT_TIME + FORWARD_PREAMBLE2_TIME
 CF2_END = CF2_OFFSET + CONTROL_FIELD_TIME
 
 
+#: Start offsets of all N forward data slots within a cycle, precomputed
+#: once so hot paths can index instead of recomputing the arithmetic.
+#: Slot 0 is the single slot between the control-field sets; slots 1..36
+#: follow the second control-field set back to back.
+FORWARD_SLOT_OFFSETS: Tuple[float, ...] = tuple(
+    FORWARD_SLOT0_OFFSET if index == 0
+    else CF2_END + (index - 1) * FORWARD_SLOT_TIME
+    for index in range(NUM_FORWARD_DATA_SLOTS))
+
+
 def forward_slot_offset(index: int) -> float:
     """Start offset of forward data slot ``index`` in [0, N) within a cycle.
 
@@ -149,9 +159,7 @@ def forward_slot_offset(index: int) -> float:
     """
     if not 0 <= index < NUM_FORWARD_DATA_SLOTS:
         raise ValueError(f"forward slot index {index} out of range")
-    if index == 0:
-        return FORWARD_SLOT0_OFFSET
-    return CF2_END + (index - 1) * FORWARD_SLOT_TIME
+    return FORWARD_SLOT_OFFSETS[index]
 
 
 # -- reverse-cycle slot layout --------------------------------------------------

@@ -1,11 +1,51 @@
-"""The simulator event loop and generator-based processes."""
+"""The simulator event loop and generator-based processes.
+
+The event loop is a *slot-indexed calendar queue* rather than a single
+binary heap.  The MAC protocol's load is dominated by two patterns:
+
+* **zero-delay triggers** -- ``succeed()``/``fail()`` calls and process
+  resumptions that fire at the current instant, and
+* **slot-aligned timeouts** -- wakeups at the handful of exact slot
+  boundary times that recur every 3.984375 s cycle, so many events land
+  on the *same* future timestamp.
+
+The kernel therefore keeps three structures:
+
+* ``_now_queue`` -- a FIFO of events due exactly at ``now``; appending is
+  the no-allocation fast path for the dominant zero-delay case,
+* ``_calendar`` -- a dict mapping each distinct future timestamp to the
+  events due then.  Most buckets hold exactly one event (slot boundaries
+  are distinct floats), so a singleton is stored as the bare event and
+  only promoted to a list when a second event lands on the same
+  timestamp -- no per-event list allocation,
+* ``_times`` -- a min-heap over the *distinct* timestamps only, pushed
+  once per bucket creation.
+
+Ordering is bit-identical to the previous ``(time, sequence)`` heap
+kernel (kept as :class:`repro.sim.legacy.LegacySimulator`): events
+enqueued at an earlier simulated time carry smaller sequence numbers
+than anything enqueued while the clock sits at the bucket's timestamp,
+bucket order is append order, and zero-delay events append behind the
+drained bucket -- exactly the old tie-break.  The differential harness
+(``repro.experiments.kernel_diff``) asserts this over whole sweeps.
+"""
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional
 
-from repro.sim.events import Event, Timeout
+from repro.sim.events import CallbackEvent, Event, Timeout
+
+#: Bumped whenever a kernel change could alter results or performance in a
+#: way cached sweep points must not survive; folded into the result-cache
+#: key by :func:`repro.engine.hashing.point_key`.  Version 2 is the
+#: calendar-queue kernel (version 1 was the single-heap kernel, preserved
+#: in :mod:`repro.sim.legacy`).
+KERNEL_VERSION = 2
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -45,6 +85,8 @@ class Process(Event):
 
         proc = sim.process(worker(sim))
     """
+
+    __slots__ = ("name", "_generator", "_waiting_on")
 
     def __init__(self, sim: "Simulator",
                  generator: Generator[Event, Any, Any],
@@ -125,7 +167,7 @@ class Process(Event):
 
 
 class Simulator:
-    """Event loop with a floating-point clock starting at 0.
+    """Calendar-queue event loop with a floating-point clock starting at 0.
 
     Parameters
     ----------
@@ -134,13 +176,19 @@ class Simulator:
         out of :meth:`run` immediately.  When False, the process simply
         fails as an event (useful when another process awaits it and
         handles the failure).
+
+    The class deliberately keeps a ``__dict__`` (no ``__slots__``): the
+    profiler shadows :meth:`step` on individual instances, and
+    :meth:`run` falls back to stepping through that shadow when present.
     """
 
     def __init__(self, strict: bool = True):
         self.now: float = 0.0
         self.strict = strict
-        self._queue: List[Tuple[float, int, Event]] = []
-        self._sequence = 0
+        self._now_queue: Deque[Event] = deque()
+        #: timestamp -> Event (singleton bucket) or List[Event].
+        self._calendar: Dict[float, Any] = {}
+        self._times: List[float] = []
         self._active_process: Optional[Process] = None
 
     # -- event construction -------------------------------------------------
@@ -163,31 +211,66 @@ class Simulator:
         if when < self.now:
             raise SimulationError(
                 f"call_at({when}) is in the past (now={self.now})")
-        event = self.timeout(when - self.now)
-        event.add_callback(lambda _ev: callback())
+        event = CallbackEvent(self, callback)
+        # _enqueue inlined: call_at is the kernel's hottest entry point.
+        if when == self.now:
+            self._now_queue.append(event)
+            return event
+        calendar = self._calendar
+        bucket = calendar.get(when)
+        if bucket is None:
+            calendar[when] = event
+            heapq.heappush(self._times, when)
+        elif type(bucket) is list:
+            bucket.append(event)
+        else:
+            calendar[when] = [bucket, event]
         return event
 
     # -- scheduling internals ------------------------------------------------
 
     def _enqueue(self, event: Event, delay: float) -> None:
+        if delay == 0.0:
+            self._now_queue.append(event)
+            return
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self._sequence += 1
-        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+        when = self.now + delay
+        if when == self.now:
+            # A positive delay too small to move the float clock: due now.
+            self._now_queue.append(event)
+            return
+        calendar = self._calendar
+        bucket = calendar.get(when)
+        if bucket is None:
+            calendar[when] = event
+            heapq.heappush(self._times, when)
+        elif type(bucket) is list:
+            bucket.append(event)
+        else:
+            calendar[when] = [bucket, event]
 
     # -- execution -----------------------------------------------------------
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._now_queue:
+            return self.now
+        return self._times[0] if self._times else _INF
 
     def step(self) -> None:
         """Process exactly one event."""
-        when, _seq, event = heapq.heappop(self._queue)
-        if when < self.now:  # pragma: no cover - heap guarantees order
-            raise SimulationError("time ran backwards")
-        self.now = when
-        event._process()
+        queue = self._now_queue
+        if not queue:
+            when = heapq.heappop(self._times)
+            self.now = when
+            bucket = self._calendar.pop(when)
+            if type(bucket) is list:
+                queue.extend(bucket)
+            else:
+                bucket._process()
+                return
+        queue.popleft()._process()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock reaches ``until``.
@@ -198,12 +281,42 @@ class Simulator:
         if until is not None and until < self.now:
             raise SimulationError(
                 f"run(until={until}) is in the past (now={self.now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        if "step" in self.__dict__:
+            # step() is shadowed on this instance (profiler hook): route
+            # every event through it so instrumentation sees each one.
+            self._run_via_step(until)
+        else:
+            queue = self._now_queue
+            times = self._times
+            calendar = self._calendar
+            heappop = heapq.heappop
+            while True:
+                while queue:
+                    queue.popleft()._process()
+                if not times:
+                    break
+                when = times[0]
+                if until is not None and when > until:
+                    break
+                heappop(times)
+                self.now = when
+                bucket = calendar.pop(when)
+                if type(bucket) is list:
+                    queue.extend(bucket)
+                else:
+                    bucket._process()
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _run_via_step(self, until: Optional[float]) -> None:
+        step = self.step
+        while True:
+            next_time = self.peek()
+            if next_time == _INF:
                 break
-            self.step()
-        if until is not None:
-            self.now = max(self.now, until)
+            if until is not None and next_time > until:
+                break
+            step()
 
     def run_process(self, process: Process,
                     until: Optional[float] = None) -> Any:
@@ -214,10 +327,11 @@ class Simulator:
         before the process completes.
         """
         while not process.triggered:
-            if not self._queue:
+            next_time = self.peek()
+            if next_time == _INF:
                 raise SimulationError(
                     f"queue drained before {process.name!r} finished")
-            if until is not None and self._queue[0][0] > until:
+            if until is not None and next_time > until:
                 raise SimulationError(
                     f"{process.name!r} did not finish by t={until}")
             self.step()

@@ -9,6 +9,12 @@ An :class:`Event` has a three-stage life cycle:
 
 Processes wait on events by ``yield``-ing them; the kernel resumes the
 process with the event's value (or throws the event's exception into it).
+
+Every event class here carries ``__slots__``: a cell run creates tens of
+thousands of events per simulated second, and dict-free instances are
+both smaller and faster to allocate.  Subclasses that need extra
+attributes declare their own slots (see
+:class:`repro.sim.resources.Store`'s put event).
 """
 
 from __future__ import annotations
@@ -29,6 +35,8 @@ class Event:
     simulator queue with zero delay; callbacks (including waiting
     processes) run when the simulator processes it.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -60,7 +68,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _UNSET:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -72,7 +80,7 @@ class Event:
 
         Waiting processes will have ``exception`` thrown into them.
         """
-        if self.triggered:
+        if self._value is not _UNSET:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -108,13 +116,16 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        self.sim = sim
+        self.callbacks = []
         self._ok = True
         self._value = value
+        self.delay = delay
         sim._enqueue(self, delay)
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
@@ -124,8 +135,44 @@ class Timeout(Event):
         raise RuntimeError("Timeout events trigger themselves")
 
 
+class CallbackEvent(Event):
+    """A pre-triggered event that invokes one plain callable when it fires.
+
+    This is the allocation-light backing of
+    :meth:`~repro.sim.core.Simulator.call_at`: instead of a Timeout plus a
+    closure appended to its callback list, the callable is stored directly
+    on the event and invoked from :meth:`_process`.  Callbacks added via
+    :meth:`add_callback` still run, after the stored callable -- the same
+    order the old Timeout-plus-lambda arrangement produced.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, sim: "Simulator", fn: Callable[[], None]):
+        self.sim = sim
+        self.callbacks = []
+        self._ok = True
+        self._value = None
+        self.fn = fn
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise RuntimeError("CallbackEvent events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise RuntimeError("CallbackEvent events trigger themselves")
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self.fn()
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+
 class _Condition(Event):
     """Base for composite events (:class:`AnyOf` / :class:`AllOf`)."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Sequence[Event]):
         super().__init__(sim)
@@ -162,6 +209,8 @@ class AnyOf(_Condition):
     A failing child fails the condition.
     """
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
@@ -177,6 +226,8 @@ class AllOf(_Condition):
     The value is a dict mapping every child event to its value.  The first
     failing child fails the condition immediately.
     """
+
+    __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:

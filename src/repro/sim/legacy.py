@@ -1,0 +1,100 @@
+"""The pre-calendar heap kernel, preserved verbatim for differential runs.
+
+:class:`LegacySimulator` is the event loop exactly as it existed before
+the slot-indexed calendar-queue rewrite of :mod:`repro.sim.core`: a
+single binary heap of ``(time, sequence, event)`` tuples.  It is kept so
+the kernel-differential harness (``repro.experiments.kernel_diff``) can
+run the same experiment grid through both kernels and assert
+bit-identical summaries.
+
+The class is a drop-in :class:`~repro.sim.core.Simulator`: the event,
+timeout, process and condition types are shared, only the scheduling
+internals differ.  ``build_cell(config, sim=LegacySimulator())`` runs a
+whole cell on the old kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from repro.sim.core import Process, SimulationError, Simulator
+from repro.sim.events import CallbackEvent, Event
+
+
+class LegacySimulator(Simulator):
+    """The original heap-ordered event loop (reference kernel).
+
+    Events are ordered by ``(time, sequence)`` where ``sequence`` is a
+    global enqueue counter; ties at the same timestamp therefore run in
+    enqueue order -- the ordering contract the calendar kernel must
+    reproduce bit-for-bit.
+    """
+
+    def __init__(self, strict: bool = True):
+        super().__init__(strict)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+
+    def call_at(self, when, callback):
+        """Run a plain callback at absolute time ``when``.
+
+        Overridden because the base class inlines its calendar insert
+        into ``call_at``; the legacy kernel must route every event
+        through its own heap.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self.now})")
+        event = CallbackEvent(self, callback)
+        self._enqueue(event, when - self.now)
+        return event
+
+    # -- execution ----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:  # pragma: no cover - heap guarantees order
+            raise SimulationError("time ran backwards")
+        self.now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``."""
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_process(self, process: Process,
+                    until: Optional[float] = None) -> Any:
+        """Run until ``process`` finishes; returns its value."""
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"queue drained before {process.name!r} finished")
+            if until is not None and self._queue[0][0] > until:
+                raise SimulationError(
+                    f"{process.name!r} did not finish by t={until}")
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value

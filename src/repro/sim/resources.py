@@ -12,6 +12,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
 
 
+class _PutEvent(Event):
+    """A put request carrying the item it wants to deposit.
+
+    :class:`~repro.sim.events.Event` is ``__slots__``-only, so the item
+    travels in a declared slot instead of an ad-hoc attribute.
+    """
+
+    __slots__ = ("item",)
+
+    def __init__(self, sim: "Simulator", item: Any):
+        super().__init__(sim)
+        self.item = item
+
+
 class Store:
     """An unbounded-or-bounded FIFO buffer of items.
 
@@ -38,8 +52,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Event that fires once ``item`` has been accepted."""
-        event = Event(self.sim)
-        event.item = item  # type: ignore[attr-defined]
+        event = _PutEvent(self.sim, item)
         self._putters.append(event)
         self._dispatch()
         return event

@@ -346,6 +346,37 @@ class TestScoping:
         assert not outer.det and not outer.hot
         assert outer.par and outer.proto and not outer.proto_core
 
+    def test_hot_extra_modules_outside_core(self):
+        # Designated hot-path modules in otherwise non-core packages
+        # get the HOT family (and only the HOT family beyond the
+        # outer-package default).
+        profiler = scope_for_path("src/repro/obs/profiler.py")
+        assert profiler.hot and not profiler.det
+        registry = scope_for_path("src/repro/obs/registry.py")
+        assert registry.hot
+        stats = scope_for_path("src/repro/metrics/stats.py")
+        assert stats.hot
+        # Siblings in the same packages stay un-hot.
+        render = scope_for_path("src/repro/obs/render.py")
+        assert not render.hot
+        fairness = scope_for_path("src/repro/metrics/fairness.py")
+        assert not fairness.hot
+
+    def test_new_kernel_modules_are_core_hot(self):
+        # The fast-path modules added by the kernel refactor fall under
+        # the core packages and pick up the full core treatment.
+        intervals = scope_for_path("src/repro/phy/intervals.py")
+        assert intervals.hot and intervals.det
+        legacy = scope_for_path("src/repro/sim/legacy.py")
+        assert legacy.hot and legacy.det
+
+    def test_print_flagged_in_hot_extra_module(self):
+        report = check_source("def sample(value):\n"
+                              "    print(value)\n",
+                              "src/repro/obs/profiler.py")
+        assert [finding.rule for finding in report.findings] \
+            == ["HOT001"]
+
     def test_lint_package_exempt(self):
         scope = scope_for_path("src/repro/lint/rules.py")
         assert not (scope.det or scope.par or scope.proto or scope.hot)
