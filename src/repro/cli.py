@@ -8,6 +8,7 @@ Usage::
     python -m repro experiments fig8a fig12b --quick --jobs 4
     python -m repro sweep --loads 0.3,0.8,1.1 --seeds 1,2,3 --jobs 4
     python -m repro sweep --metrics out.jsonl --profile
+    python -m repro serve --cells 2 --duration 30 --port 8080
     python -m repro obs out.jsonl --where load=0.8
 """
 
@@ -397,6 +398,12 @@ def _command_lint(args: argparse.Namespace) -> int:
     return lint_run(args)
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.cli import run as serve_run
+
+    return serve_run(args)
+
+
 def _command_obs(args: argparse.Namespace) -> int:
     """Render a recorded timeline (``--metrics`` output) as charts."""
     from repro.obs.export import read_jsonl
@@ -498,6 +505,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.lint.cli import configure_parser as _configure_lint
     _configure_lint(lint_parser)
     lint_parser.set_defaults(handler=_command_lint)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run cells as a supervised long-lived service "
+                      "with checkpoints and a live control plane")
+    from repro.serve.cli import configure_parser as _configure_serve
+    _configure_serve(serve_parser)
+    serve_parser.set_defaults(handler=_command_serve)
 
     obs_parser = subparsers.add_parser(
         "obs", help="render a recorded per-cycle timeline")

@@ -10,7 +10,7 @@ want to poke at internals, via ``run_cell_detailed``).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.base_station import BaseStation
@@ -56,6 +56,26 @@ def _make_error_model(config: CellConfig,
     raise ValueError(f"unknown error model {config.error_model!r}")
 
 
+def _make_link(config: CellConfig, streams: "RandomStreams",
+               stream_name: str) -> Link:
+    return Link(_make_error_model(config, streams[stream_name]),
+                streams[stream_name],
+                full_fidelity=config.full_fidelity)
+
+
+def _uplink_workload(config: CellConfig):
+    """(size distribution, per-user mean interarrival) for the uplink."""
+    sizes = make_size_distribution(
+        config.message_size, config.fixed_message_bytes,
+        config.uniform_low, config.uniform_high)
+    interarrival = interarrival_for_load(
+        config.load_index, config.num_data_users,
+        sizes.mean_mac_bytes(PAYLOAD_BYTES),
+        timing.CYCLE_LENGTH, config.data_slots_per_cycle,
+        PAYLOAD_BYTES)
+    return sizes, interarrival
+
+
 @dataclass
 class CellRun:
     """Everything a finished simulation exposes."""
@@ -68,6 +88,16 @@ class CellRun:
     gps_units: List[GpsSubscriber]
     injector: Optional[FaultInjector] = None
     monitor: Optional[InvariantMonitor] = None
+    #: The name streams were derived from; kept so callers (the service
+    #: mode's runtime joins) can mint new deterministic per-subscriber
+    #: streams after construction.
+    streams: Optional[RandomStreams] = None
+    #: Live uplink / downlink Poisson sources, in subscriber order.
+    #: ``mean_interarrival`` is mutable, so a caller may re-dial the
+    #: offered load mid-run (applied to draws after the change).
+    sources: List[PoissonMessageSource] = field(default_factory=list)
+    forward_sources: List[PoissonMessageSource] = \
+        field(default_factory=list)
 
 
 def build_cell(config: CellConfig,
@@ -112,9 +142,7 @@ def build_cell(config: CellConfig,
         return 0.0
 
     def make_link(stream_name: str) -> Link:
-        return Link(_make_error_model(config, streams[stream_name]),
-                    streams[stream_name],
-                    full_fidelity=config.full_fidelity)
+        return _make_link(config, streams, stream_name)
 
     data_users: List[DataSubscriber] = []
     for index in range(config.num_data_users):
@@ -141,22 +169,17 @@ def build_cell(config: CellConfig,
         gps_units.append(unit)
 
     # -- uplink e-mail workload -------------------------------------------
+    sources: List[PoissonMessageSource] = []
     if config.num_data_users and config.load_index > 0:
-        sizes = make_size_distribution(
-            config.message_size, config.fixed_message_bytes,
-            config.uniform_low, config.uniform_high)
-        interarrival = interarrival_for_load(
-            config.load_index, config.num_data_users,
-            sizes.mean_mac_bytes(PAYLOAD_BYTES),
-            timing.CYCLE_LENGTH, config.data_slots_per_cycle,
-            PAYLOAD_BYTES)
+        sizes, interarrival = _uplink_workload(config)
         for index, subscriber in enumerate(data_users):
-            PoissonMessageSource(
+            sources.append(PoissonMessageSource(
                 sim, streams[f"traffic-{index}"], interarrival, sizes,
                 deliver=subscriber.submit_message,
-                start_at=subscriber.entry_time)
+                start_at=subscriber.entry_time))
 
     # -- downlink workload ---------------------------------------------------
+    forward_sources: List[PoissonMessageSource] = []
     if config.num_data_users and config.forward_load_index > 0:
         sizes = make_size_distribution(
             config.message_size, config.fixed_message_bytes,
@@ -169,10 +192,10 @@ def build_cell(config: CellConfig,
             def deliver(message: Message,
                         sub: DataSubscriber = subscriber) -> None:
                 _submit_forward_message(base_station, sub, message)
-            PoissonMessageSource(
+            forward_sources.append(PoissonMessageSource(
                 sim, streams[f"fwd-traffic-{index}"], interarrival,
                 sizes, deliver=deliver,
-                start_at=subscriber.entry_time)
+                start_at=subscriber.entry_time))
 
     # -- robustness instrumentation --------------------------------------
     injector = None
@@ -187,7 +210,65 @@ def build_cell(config: CellConfig,
     return CellRun(config=config, stats=stats, sim=sim,
                    base_station=base_station, data_users=data_users,
                    gps_units=gps_units, injector=injector,
-                   monitor=monitor)
+                   monitor=monitor, streams=streams, sources=sources,
+                   forward_sources=forward_sources)
+
+
+def attach_data_user(run: CellRun, ein_offset: int = 0,
+                     name_prefix: str = "") -> DataSubscriber:
+    """Power on one more data subscriber mid-run.
+
+    Used by the service mode's runtime joins.  The subscriber enters
+    the cell from SYNCING at the current simulated time, with stream
+    names extending the ``build_cell`` sequence, so a replayed join at
+    the same instant rebuilds bit-identical state.
+    """
+    config = run.config
+    streams = run.streams
+    if streams is None:
+        raise ValueError("cell was built without recorded streams")
+    index = len(run.data_users)
+    ein = DATA_EIN_BASE + ein_offset + index
+    bs = run.base_station
+    subscriber = DataSubscriber(
+        run.sim, config, ein, bs.forward, bs.reverse,
+        forward_link=_make_link(config, streams, f"fl-{ein}"),
+        reverse_link=_make_link(config, streams, f"rl-{ein}"),
+        stats=run.stats, rng=streams[f"sub-{ein}"],
+        entry_time=run.sim.now,
+        name=f"{name_prefix}data-{index}")
+    run.data_users.append(subscriber)
+    if config.load_index > 0:
+        sizes, interarrival = _uplink_workload(config)
+        if run.sources:
+            # Joiners inherit the *current* (possibly re-dialled) rate.
+            interarrival = run.sources[0].mean_interarrival
+        run.sources.append(PoissonMessageSource(
+            run.sim, streams[f"traffic-{index}"], interarrival, sizes,
+            deliver=subscriber.submit_message,
+            start_at=run.sim.now))
+    return subscriber
+
+
+def attach_gps_unit(run: CellRun, ein_offset: int = 0,
+                    name_prefix: str = "") -> GpsSubscriber:
+    """Power on one more GPS unit mid-run (see ``attach_data_user``)."""
+    config = run.config
+    streams = run.streams
+    if streams is None:
+        raise ValueError("cell was built without recorded streams")
+    index = len(run.gps_units)
+    ein = GPS_EIN_BASE + ein_offset + index
+    bs = run.base_station
+    unit = GpsSubscriber(
+        run.sim, config, ein, bs.forward, bs.reverse,
+        forward_link=_make_link(config, streams, f"fl-{ein}"),
+        reverse_link=_make_link(config, streams, f"rl-{ein}"),
+        stats=run.stats, rng=streams[f"sub-{ein}"],
+        entry_time=run.sim.now,
+        name=f"{name_prefix}gps-{index}")
+    run.gps_units.append(unit)
+    return unit
 
 
 def _submit_forward_message(base_station: BaseStation,

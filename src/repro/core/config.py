@@ -82,6 +82,16 @@ class CellConfig:
     #: Data users: consecutive un-ACKed transmissions/attempts before an
     #: active user assumes it was deregistered and re-registers.
     eviction_detect_attempts: int = 6
+    #: After a suspected eviction the subscriber waits a seeded-random
+    #: 0..N whole cycles before its first re-registration attempt.  A
+    #: base-station restart evicts everyone at once; without jitter the
+    #: survivors retry in lockstep and collide in the same contention
+    #: slots cycle after cycle.  Draws come from the subscriber's own
+    #: ``RandomStreams`` stream, so runs stay bit-identical across
+    #: worker counts.  Defaults to 0 (the paper's immediate retry,
+    #: right for organic churn); ``repro serve`` dials it up for
+    #: long-lived cells where mass-eviction storms are expected.
+    eviction_backoff_jitter_cycles: int = 0
     #: Run the per-cycle ``repro.faults.invariants`` monitor.
     check_invariants: bool = False
 
@@ -108,6 +118,9 @@ class CellConfig:
             raise ValueError("eviction_detect_cycles must be >= 1")
         if self.eviction_detect_attempts < 1:
             raise ValueError("eviction_detect_attempts must be >= 1")
+        if self.eviction_backoff_jitter_cycles < 0:
+            raise ValueError(
+                "eviction_backoff_jitter_cycles must be >= 0")
         self.faults = tuple(self.faults)
         if self.faults:
             from repro.faults.schedule import FaultSpec

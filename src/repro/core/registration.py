@@ -49,6 +49,7 @@ class RegistrationModule:
         self._active_counts: Dict[int, int] = {SERVICE_GPS: 0,
                                                SERVICE_DATA: 0}
         self.rejected = 0
+        self._next_uid_hint = 0
 
     @property
     def active_gps(self) -> int:
@@ -138,7 +139,22 @@ class RegistrationModule:
                     f"{self.scan_active(service)}")
 
     def _next_uid(self) -> Optional[int]:
-        for uid in range(MAX_ASSIGNABLE_UID + 1):
+        """Allocate round-robin, not lowest-free.
+
+        Reusing a just-released ID is dangerous with liveness leases: a
+        lease-evicted subscriber keeps transmitting under its old user
+        ID until its eviction detection fires, and if the ID has
+        already been reassigned, two radios fight over the same
+        reverse slots -- each one's collisions resetting the *other*'s
+        detection counters, while the impostor's frames keep refreshing
+        the lease.  Rotating through the ID space gives the evictee the
+        whole remaining space's worth of registrations to notice the
+        un-ACKed slots before its ID comes around again.
+        """
+        span = MAX_ASSIGNABLE_UID + 1
+        for offset in range(span):
+            uid = (self._next_uid_hint + offset) % span
             if uid not in self._by_uid:
+                self._next_uid_hint = (uid + 1) % span
                 return uid
         return None

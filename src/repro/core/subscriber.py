@@ -89,7 +89,8 @@ class SubscriberBase:
                  "reverse_link", "stats", "rng", "entry_time", "name",
                  "state", "uid", "radio", "activated_at",
                  "forward_channel", "alive", "crashes",
-                 "recovery_started_at", "_cf2_cycle", "_registration")
+                 "recovery_started_at", "_cf2_cycle", "_registration",
+                 "_reregister_not_before")
 
     service = SERVICE_DATA
 
@@ -127,6 +128,9 @@ class SubscriberBase:
         #: cycle's last reverse data slot while CF1 is on the air).
         self._cf2_cycle: Optional[int] = None
         self._registration: Optional[Dict] = None  # pending attempt record
+        #: Seeded post-eviction backoff: no registration attempts before
+        #: this simulated time (see ``eviction_backoff_jitter_cycles``).
+        self._reregister_not_before = 0.0
 
         forward.attach(ein, forward_link, self._on_forward)
 
@@ -218,6 +222,8 @@ class SubscriberBase:
                               listen_end: float) -> None:
         if self.state != REGISTERING:
             return
+        if self.sim.now < self._reregister_not_before:
+            return  # seeded post-eviction backoff: sit this cycle out
         pending = self._registration
         if pending is not None and pending["cycle"] == cf.cycle:
             return  # attempt already scheduled this cycle
@@ -342,6 +348,7 @@ class SubscriberBase:
         self._registration = None
         self._cf2_cycle = None
         self.recovery_started_at = None
+        self._reregister_not_before = 0.0
         self._on_crashed()
 
     def restart(self) -> None:
@@ -369,6 +376,15 @@ class SubscriberBase:
         self._cf2_cycle = None
         self.recovery_started_at = self.sim.now
         self.stats.evictions_detected += 1
+        # Mass evictions (a base-station restart drops everyone at
+        # once) would otherwise retry in lockstep and keep colliding in
+        # the same contention slots; a seeded 0..N-cycle backoff
+        # de-synchronizes the survivors deterministically.
+        jitter = self.config.eviction_backoff_jitter_cycles
+        if jitter > 0:
+            self._reregister_not_before = (
+                self.sim.now
+                + self.rng.randrange(jitter + 1) * timing.CYCLE_LENGTH)
         self._on_eviction_suspected()
 
     def _on_crashed(self) -> None:

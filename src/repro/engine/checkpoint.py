@@ -17,6 +17,14 @@ rather than replaying stale values.  A torn final line from a mid-write
 kill is skipped on load, and a journal is deleted once its sweep
 finishes with no failures (the result cache, when enabled, still holds
 the values).
+
+Durability and exclusivity: the first record of a grid fsyncs both the
+journal file and its directory entry (a crash immediately after journal
+creation must not leave a resumable sweep pointing at an unlisted
+file), and each journal is guarded by a :class:`JournalLock` pidfile so
+two processes cannot resume the same journal concurrently.  The
+long-running service mode (``repro serve``) reuses both primitives for
+its own cycle-granular journals (:mod:`repro.serve.journal`).
 """
 
 from __future__ import annotations
@@ -36,6 +44,118 @@ def default_journal_dir() -> str:
     return os.path.join(default_cache_dir(), "journal")
 
 
+def fsync_directory(path: str) -> None:
+    """Flush a directory entry to disk (no-op where unsupported).
+
+    ``fsync`` on the file alone makes the *contents* durable; on most
+    filesystems the file's very existence is only durable once its
+    parent directory has been synced too.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # e.g. directories are not fsync-able on this platform
+    finally:
+        os.close(fd)
+
+
+class JournalLockedError(RuntimeError):
+    """Another live process holds the journal lock."""
+
+
+class JournalLock:
+    """A pidfile lock guarding one journal against double-resume.
+
+    Two processes resuming the same journal would interleave appends and
+    both believe they own the tail; :meth:`acquire` makes the second one
+    fail loudly instead.  The lock is a sibling ``<journal>.lock`` file
+    created with ``O_CREAT | O_EXCL`` and holding the owner's pid:
+
+    * lock held by a **live** other process -> :class:`JournalLockedError`;
+    * lock held by a **dead** pid (e.g. the owner was SIGKILLed) -> the
+      stale file is removed and the lock is taken over;
+    * lock held by **our own** pid -> re-acquired (an in-process
+      supervisor restart re-opens the same journal it already owns).
+
+    The pid is written on the freshly created fd, so the window in which
+    another process can observe an empty lock file is a few microseconds;
+    an empty/garbled lock file is treated as stale.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._held = False
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def _owner_pid(self) -> Optional[int]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return int(handle.read().strip())
+        except (OSError, ValueError):
+            return None
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True  # exists, owned by someone else
+        except OSError:
+            return True  # be conservative: assume alive
+        return True
+
+    def acquire(self) -> None:
+        if self._held:
+            return
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        for _ in range(8):  # retries bound stale-steal races
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                pid = self._owner_pid()
+                if pid == os.getpid():
+                    self._held = True
+                    return
+                if pid is not None and self._pid_alive(pid):
+                    raise JournalLockedError(
+                        f"{self.path} is held by live pid {pid}; "
+                        f"refusing a concurrent resume")
+                # Stale (dead owner or torn write): steal it.
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+                continue
+            try:
+                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            self._held = True
+            return
+        raise JournalLockedError(
+            f"could not acquire {self.path} (persistent contention)")
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
 class SweepJournal:
     """Crash-safe completed-point journal for one spec grid."""
 
@@ -49,6 +169,12 @@ class SweepJournal:
         self.path = os.path.join(self.root, f"{safe}-{digest}.jsonl")
         self._keys = frozenset(keys)
         self._handle: Optional[TextIO] = None
+        self._dir_synced = False
+        self.lock = JournalLock(self.path + ".lock")
+
+    def acquire(self) -> None:
+        """Take the journal's pidfile lock (see :class:`JournalLock`)."""
+        self.lock.acquire()
 
     def load(self) -> Dict[str, Any]:
         """Completed ``key -> value`` entries belonging to this grid."""
@@ -81,6 +207,16 @@ class SweepJournal:
         self._handle.write(line + "\n")
         # Push the line to the OS so even SIGKILL can't lose it.
         self._handle.flush()
+        if not self._dir_synced:
+            # First record: fsync the file *and* its directory entry,
+            # so a crash right after journal creation cannot leave a
+            # resumable sweep pointing at an unlisted file.
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+            fsync_directory(self.root)
+            self._dir_synced = True
         return True
 
     def close(self) -> None:
@@ -89,6 +225,7 @@ class SweepJournal:
                 self._handle.close()
             finally:
                 self._handle = None
+        self.lock.release()
 
     def discard(self) -> None:
         """Remove the journal (its sweep finished cleanly)."""

@@ -128,6 +128,9 @@ def execute(spec: RunSpec,
     restored: Dict[str, Any] = {}
     if run_policy.resume:
         journal = SweepJournal(spec.name, keys)
+        # Fail loudly if another live process is resuming this grid:
+        # two writers would interleave appends on the same journal.
+        journal.acquire()
         restored = journal.load()
 
     quarantined_before = store.quarantined if store is not None else 0

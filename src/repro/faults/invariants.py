@@ -59,8 +59,11 @@ class InvariantMonitor:
         self.sim = sim
         self.config = config
         self.base_station = base_station
-        self.data_users = list(data_users)
-        self.gps_units = list(gps_units)
+        # Live references, not copies: the service mode appends
+        # runtime-joined subscribers to the cell's lists mid-run, and
+        # they must fall under the monitor the moment they power on.
+        self.data_users = data_users
+        self.gps_units = gps_units
         self.stats = stats
         self.violations: List[Tuple[float, str]] = []
         self.checks_run = 0

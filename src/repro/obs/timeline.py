@@ -102,7 +102,8 @@ class TimelineRecorder:
 
     def __init__(self, run: CellRun,
                  registry: Optional[MetricsRegistry] = None,
-                 max_points: int = 1_000_000):
+                 max_points: int = 1_000_000,
+                 metric_labels: Optional[Dict[str, str]] = None):
         self.run = run
         self.deadline = run.config.gps_deadline
         self.max_points = max_points
@@ -120,7 +121,8 @@ class TimelineRecorder:
         self._cycle_registrations = 0
 
         self._metrics = _TimelineMetrics(
-            registry if registry is not None else default_registry())
+            registry if registry is not None else default_registry(),
+            labels=metric_labels)
 
         run.base_station.reverse.add_listener(self._on_reverse)
         self._chain_registration_hook(run)
@@ -282,53 +284,73 @@ class _TimelineMetrics:
     Children are fetched at publish time, so a disabled registry costs
     a handful of no-op calls per cycle and an enabled one reflects the
     live run (gauges track the latest cycle; counters accumulate).
+
+    ``labels`` (e.g. ``{"cell": "cell0"}``) prefix every family's label
+    set, letting several recorders -- the service mode runs one per
+    cell -- share a registry without colliding.  With no labels the
+    families are label-less, exactly as before.
     """
 
-    def __init__(self, registry: MetricsRegistry):
+    def __init__(self, registry: MetricsRegistry,
+                 labels: Optional[Dict[str, str]] = None):
         self.registry = registry
+        labels = dict(labels or {})
+        self._names = tuple(labels)
+        self._values = tuple(str(value) for value in labels.values())
+
+    def _gauge(self, name: str, help: str):
+        return self.registry.gauge(name, help, self._names) \
+            .labels(*self._values)
+
+    def _counter(self, name: str, help: str):
+        return self.registry.counter(name, help, self._names) \
+            .labels(*self._values)
 
     def publish(self, point: TimelinePoint) -> None:
         registry = self.registry
         if not registry.enabled:
             return
-        registry.gauge(
+        self._gauge(
             "osu_cycle", "Current notification cycle").set(point.cycle)
-        registry.gauge(
+        self._gauge(
             "osu_uplink_queue_depth",
             "Queued uplink fragments across data subscribers",
         ).set(point.uplink_queue_depth)
-        registry.gauge(
+        self._gauge(
             "osu_reservation_backlog",
             "Outstanding reverse-slot demands at the base station",
         ).set(point.reservation_backlog)
-        registry.gauge(
+        self._gauge(
             "osu_forward_backlog",
             "Queued downlink packets").set(point.forward_backlog)
         registered = registry.gauge(
             "osu_registered_users", "Registered subscribers",
-            ("service",))
-        registered.labels(service="data").set(point.registered_data)
-        registered.labels(service="gps").set(point.registered_gps)
-        registry.gauge(
+            self._names + ("service",))
+        registered.labels(*(self._values + ("data",))) \
+            .set(point.registered_data)
+        registered.labels(*(self._values + ("gps",))) \
+            .set(point.registered_gps)
+        self._gauge(
             "osu_slot_utilization",
             "Reverse data slots used / available (settled cycles)",
         ).set(point.slot_utilization)
-        registry.counter(
+        self._counter(
             "osu_uplink_collisions_total",
             "Reverse-channel collisions").inc(point.uplink_collisions)
-        registry.counter(
+        self._counter(
             "osu_registrations_total",
             "Registrations completed").inc(point.registrations)
-        registry.counter(
+        self._counter(
             "osu_lease_evictions_total",
             "Liveness-lease evictions").inc(point.lease_evictions)
         if point.gps_min_margin_s is not None:
             registry.histogram(
                 "osu_gps_deadline_margin_seconds",
                 "4s deadline minus observed GPS inter-access gap",
+                self._names,
                 buckets=(0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
-            ).observe(point.gps_min_margin_s)
-            registry.gauge(
+            ).labels(*self._values).observe(point.gps_min_margin_s)
+            self._gauge(
                 "osu_gps_min_margin_seconds",
                 "Worst GPS deadline margin this cycle",
             ).set(point.gps_min_margin_s)

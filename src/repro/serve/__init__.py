@@ -1,0 +1,51 @@
+"""Service mode: supervised, resumable, live-controllable cells.
+
+``repro serve`` runs one or more OSU-MAC cells continuously in scaled
+time with production-shaped robustness machinery around the simulator:
+
+* :mod:`repro.serve.journal` -- crash-safe cycle-granular journals
+  (control ops + verified snapshots) that make a SIGKILL recoverable;
+* :mod:`repro.serve.service` -- the per-cell cycle loop, control-op
+  application, and replay-with-verification resume;
+* :mod:`repro.serve.supervisor` -- pacing workers, heartbeat watchdog
+  with restart-from-checkpoint, clean SIGTERM drain;
+* :mod:`repro.serve.admission` -- graceful degradation under lag;
+* :mod:`repro.serve.control` -- the stdlib HTTP control plane
+  (/healthz, /metrics, /status, runtime joins/faults/load dials);
+* :mod:`repro.serve.stabilize` -- the self-stabilization verdict
+  (back to zero invariant violations within K cycles of a burst).
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.config import ServeConfig
+from repro.serve.journal import (
+    SERVE_JOURNAL_SCHEMA,
+    JournalLockedError,
+    ServiceJournal,
+    ServiceLog,
+)
+from repro.serve.service import (
+    Cancelled,
+    CellService,
+    DegradedError,
+    ResumeIntegrityError,
+    ServiceError,
+)
+from repro.serve.stabilize import assess
+from repro.serve.supervisor import Supervisor
+
+__all__ = [
+    "AdmissionController",
+    "Cancelled",
+    "CellService",
+    "DegradedError",
+    "JournalLockedError",
+    "ResumeIntegrityError",
+    "SERVE_JOURNAL_SCHEMA",
+    "ServeConfig",
+    "ServiceError",
+    "ServiceJournal",
+    "ServiceLog",
+    "Supervisor",
+    "assess",
+]

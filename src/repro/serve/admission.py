@@ -1,0 +1,54 @@
+"""Admission control: degrade gracefully instead of falling over.
+
+The supervisor measures *cycle-processing lag* -- how far (in real
+seconds) a cell's worker is behind its scaled-time pacing schedule.
+Sustained lag means the host cannot simulate cycles as fast as the
+service promised to serve them; the correct response is to shed load,
+not to silently stretch time or crash.
+
+:class:`AdmissionController` is a small hysteresis thermostat over that
+lag signal.  While degraded, the service (a) rejects new subscriber
+joins at the control plane with 503, and (b) downgrades non-GPS traffic
+by scaling the data sources' Poisson rates by ``degrade_factor`` --
+GPS reporting, the paper's hard-deadline service, is never throttled.
+Transitions are applied at cycle boundaries and journaled as control
+ops, so a replayed resume reproduces them deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AdmissionController:
+    """Hysteresis over the lag signal: enter late, leave early."""
+
+    def __init__(self, lag_budget_s: float, lag_recover_s: float):
+        if lag_budget_s <= 0:
+            raise ValueError("lag_budget_s must be positive")
+        if not 0 <= lag_recover_s <= lag_budget_s:
+            raise ValueError("lag_recover_s must be in [0, budget]")
+        self.lag_budget_s = lag_budget_s
+        self.lag_recover_s = lag_recover_s
+        self.degraded = False
+        self.transitions = 0
+        self.worst_lag_s = 0.0
+
+    def update(self, lag_s: float) -> Optional[bool]:
+        """Feed one lag sample; returns the new mode on a transition.
+
+        ``True`` = enter degraded, ``False`` = exit, ``None`` = no
+        change.  Negative lag (ahead of schedule) counts as zero.
+        """
+        lag_s = max(0.0, lag_s)
+        if lag_s > self.worst_lag_s:
+            self.worst_lag_s = lag_s
+        if not self.degraded and lag_s > self.lag_budget_s:
+            self.degraded = True
+            self.transitions += 1
+            return True
+        if self.degraded and lag_s < self.lag_recover_s:
+            self.degraded = False
+            self.transitions += 1
+            return False
+        return None

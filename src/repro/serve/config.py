@@ -1,0 +1,90 @@
+"""Service-mode configuration (`repro serve`).
+
+Separate from :class:`~repro.core.config.CellConfig` on purpose: these
+knobs shape the *supervision* of a run -- pacing, watchdogs, admission
+control, the control plane -- and may differ between a soak and its
+resume without invalidating the journal.  Only the cell config (and
+seed) is fingerprinted into the journal header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ServeConfig:
+    """All knobs of one supervised service run."""
+
+    #: Journal/metric namespace; cells are named ``<name>-cellN``.
+    name: str = "serve"
+    #: Number of independent cells to supervise.
+    cells: int = 1
+
+    # -- pacing ------------------------------------------------------------
+    #: Real seconds per 3.984375 s notification cycle (scaled time).
+    #: 0 runs unpaced, as fast as the host allows.
+    cycle_period_s: float = 0.05
+    #: Stop after this many cycles per cell (None = run until signal).
+    max_cycles: Optional[int] = None
+    #: Stop after this much real time (None = run until signal).
+    duration_s: Optional[float] = None
+
+    # -- checkpointing -----------------------------------------------------
+    #: Cycles between snapshot records.  1 (default) bounds resume loss
+    #: to the cycle in flight and keeps exported counters exactly
+    #: monotonic across a kill/resume boundary.
+    checkpoint_every: int = 1
+    journal_root: Optional[str] = None
+
+    # -- watchdog ----------------------------------------------------------
+    #: A cell whose heartbeat is older than this is declared stalled
+    #: and restarted from its journal.
+    stall_timeout_s: float = 10.0
+    #: Watchdog restarts per cell before the cell is marked failed.
+    max_restarts: int = 3
+
+    # -- graceful degradation ---------------------------------------------
+    #: Cycle-processing lag (real seconds behind the pacing schedule)
+    #: above which the admission controller enters degraded mode.
+    lag_budget_s: float = 1.0
+    #: Lag below which degraded mode exits (hysteresis).
+    lag_recover_s: float = 0.25
+    #: Multiplier applied to non-GPS traffic rates while degraded.
+    degrade_factor: float = 0.25
+
+    # -- control plane -----------------------------------------------------
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (reported via ``--port-file``/stderr).
+    port: int = 0
+
+    # -- self-stabilization harness ---------------------------------------
+    #: K: cycles after a fault burst within which the invariant monitor
+    #: must be back to zero violations and GPS deadlines re-acquired.
+    stabilize_window: int = 10
+    #: Per-cycle history retained for probes and /status (ring buffer).
+    history_cycles: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.cells < 1:
+            raise ValueError("cells must be >= 1")
+        if self.cycle_period_s < 0:
+            raise ValueError("cycle_period_s must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.stall_timeout_s <= 0:
+            raise ValueError("stall_timeout_s must be positive")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.lag_budget_s <= 0:
+            raise ValueError("lag_budget_s must be positive")
+        if not 0 <= self.lag_recover_s <= self.lag_budget_s:
+            raise ValueError(
+                "lag_recover_s must be in [0, lag_budget_s]")
+        if not 0 < self.degrade_factor <= 1:
+            raise ValueError("degrade_factor must be in (0, 1]")
+        if self.stabilize_window < 1:
+            raise ValueError("stabilize_window must be >= 1")
+        if self.history_cycles < 16:
+            raise ValueError("history_cycles must be >= 16")

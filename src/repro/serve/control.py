@@ -1,0 +1,187 @@
+"""Live control plane for ``repro serve`` (stdlib HTTP only).
+
+Read side::
+
+    GET /healthz   200/503 readiness + liveness summary (JSON)
+    GET /metrics   Prometheus text: serve registry + default registry
+    GET /status    full supervisor/cell status (JSON)
+
+Write side (JSON bodies)::
+
+    POST /cells/<cell>/load    {"factor": 2.0}         dial offered load
+    POST /cells/<cell>/join    {"service": "data"}     runtime subscriber
+    POST /cells/<cell>/leave   {"name": "data-3"}      power a unit off
+    POST /cells/<cell>/faults  {"schedule": "crash:data0@2+3",
+                                "probe": true, "window": 10}
+    POST /cells/<cell>/stall   {"seconds": 2.0}        wedge the worker
+    POST /shutdown                                      graceful drain
+
+Control ops are *enqueued* here and applied (and journaled) by the
+cell's worker at the next cycle boundary -- the handler never touches
+simulator state, so any number of control-plane threads are safe.
+Joins are rejected with 503 while the cell's admission controller is
+shedding load.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.export import to_prometheus
+from repro.obs.registry import default_registry
+from repro.serve.service import CellService, DegradedError, ServiceError
+from repro.serve.supervisor import Supervisor
+
+__all__ = ["ControlServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ControlServer"
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # the control plane is not a chat channel
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send(self, code: int, body: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        self._send(code, json.dumps(payload, sort_keys=True,
+                                    default=str).encode("utf-8"))
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("body must be a JSON object")
+        return payload
+
+    def _cell(self, name: str) -> CellService:
+        cell = self.server.supervisor.cells.get(name)
+        if cell is None:
+            raise LookupError(name)
+        return cell
+
+    # -- GET ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        supervisor = self.server.supervisor
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            ready = supervisor.ready and \
+                not supervisor.stop_event.is_set()
+            status = supervisor.status()
+            self._send_json(200 if ready else 503, {
+                "ready": ready,
+                "stopping": supervisor.stop_event.is_set(),
+                "cells": {str(entry["name"]): entry["state"]
+                          for entry in status["cells"]},
+            })
+        elif path == "/metrics":
+            text = to_prometheus(self.server.registry)
+            fallback = default_registry()
+            if fallback is not self.server.registry:
+                text += to_prometheus(fallback)
+            self._send(200, text.encode("utf-8"),
+                       content_type="text/plain; version=0.0.4")
+        elif path == "/status":
+            self._send_json(200, supervisor.status())
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"})
+
+    # -- POST --------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            payload = self._read_json()
+            if path == "/shutdown":
+                self.server.supervisor.request_shutdown()
+                self._send_json(200, {"stopping": True})
+                return
+            parts = [part for part in path.split("/") if part]
+            if len(parts) == 3 and parts[0] == "cells":
+                self._dispatch_cell(parts[1], parts[2], payload)
+                return
+            self._send_json(404, {"error": f"no route {path!r}"})
+        except LookupError as exc:
+            self._send_json(404, {"error": f"no cell {exc}"})
+        except DegradedError as exc:
+            self._send_json(503, {"error": str(exc),
+                                  "degraded": True})
+        except (ServiceError, ValueError, KeyError) as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    def _dispatch_cell(self, name: str, action: str,
+                       payload: Dict[str, Any]) -> None:
+        cell = self._cell(name)
+        if action == "load":
+            op = cell.enqueue_load(payload["factor"])
+        elif action == "join":
+            op = cell.enqueue_join(payload.get("service", "data"))
+        elif action == "leave":
+            op = cell.enqueue_leave(payload["name"])
+        elif action == "faults":
+            op = cell.enqueue_faults(
+                payload["schedule"],
+                probe=bool(payload.get("probe", False)),
+                window=payload.get("window"))
+        elif action == "stall":
+            cell.request_stall(float(payload["seconds"]))
+            op = {"op": "stall", "seconds": float(payload["seconds"])}
+        else:
+            raise ServiceError(f"unknown action {action!r}")
+        self._send_json(202, {"enqueued": op, "cell": name,
+                              "cycle": cell.cycle})
+
+
+class ControlServer:
+    """Threaded HTTP server bound to the supervisor and registry."""
+
+    def __init__(self, supervisor: Supervisor,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.supervisor = supervisor
+        self.registry = supervisor.registry
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.supervisor = supervisor  # type: ignore[attr-defined]
+        self._httpd.registry = self.registry  # type: ignore[attr-defined]
+        # _Handler reaches these through ``self.server``; re-point the
+        # annotations by making this object the façade callers hold.
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="serve-control", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,90 @@
+"""Self-stabilization assessment.
+
+The acceptance lens borrowed from self-stabilizing TDMA work: after an
+arbitrary transient fault burst the protocol must *provably* return to
+a legal state within a bounded number of cycles.  Here "legal state" is
+operationalised by the per-cycle :class:`InvariantMonitor` (zero new
+violations) and by the paper's headline QoS claim (GPS units observing
+a non-negative 4-second deadline margin again).
+
+:func:`assess` is a pure function over the service's per-cycle history
+ring -- it runs identically live, in tests, and on replayed state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+
+def assess(history: Iterable[Dict[str, object]],
+           burst_end_cycle: int,
+           window: int) -> Dict[str, object]:
+    """Judge recovery after a fault burst.
+
+    ``history`` holds per-cycle dicts with ``cycle``,
+    ``invariant_violations`` (violations recorded that cycle) and
+    ``gps_min_margin_s`` (worst deadline margin of gaps closed that
+    cycle; None when no GPS gap closed).  ``burst_end_cycle`` is the
+    first cycle at which every scheduled fault has fired.
+
+    Returns a report with:
+
+    * ``converged_cycle`` -- first cycle >= burst end from which the
+      invariant monitor stays at zero violations through the end of
+      the observed history (None while violations persist);
+    * ``gps_reacquired_cycle`` -- first cycle >= burst end from which
+      every closed GPS gap meets the deadline (the single catch-up gap
+      spanning an outage legitimately misses; re-acquisition starts
+      after the last negative margin);
+    * ``cycles_to_converge`` / ``cycles_to_gps`` -- the two distances
+      from the burst end;
+    * ``ok`` -- both happened within ``window`` cycles;
+    * ``final`` -- True once ``window`` cycles of post-burst history
+      exist, i.e. the verdict can no longer improve the run.
+    """
+    post = sorted((point for point in history
+                   if int(point["cycle"]) >= burst_end_cycle),
+                  key=lambda point: int(point["cycle"]))
+    observed_until = int(post[-1]["cycle"]) if post else None
+
+    converged_cycle: Optional[int] = None
+    for point in post:
+        if int(point["invariant_violations"]) > 0:
+            converged_cycle = None
+        elif converged_cycle is None:
+            converged_cycle = int(point["cycle"])
+
+    gps_cycle: Optional[int] = None
+    saw_gps_after = False
+    for point in post:
+        margin = point.get("gps_min_margin_s")
+        if margin is None:
+            continue
+        if float(margin) < 0.0:
+            gps_cycle = None
+            saw_gps_after = False
+        elif gps_cycle is None:
+            gps_cycle = int(point["cycle"])
+            saw_gps_after = True
+    if not saw_gps_after:
+        gps_cycle = None
+
+    to_converge = (converged_cycle - burst_end_cycle
+                   if converged_cycle is not None else None)
+    to_gps = (gps_cycle - burst_end_cycle
+              if gps_cycle is not None else None)
+    final = (observed_until is not None
+             and observed_until >= burst_end_cycle + window)
+    ok = (to_converge is not None and to_converge <= window
+          and to_gps is not None and to_gps <= window)
+    return {
+        "burst_end_cycle": burst_end_cycle,
+        "window": window,
+        "observed_until": observed_until,
+        "converged_cycle": converged_cycle,
+        "cycles_to_converge": to_converge,
+        "gps_reacquired_cycle": gps_cycle,
+        "cycles_to_gps": to_gps,
+        "ok": ok,
+        "final": final,
+    }

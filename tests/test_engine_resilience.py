@@ -170,8 +170,12 @@ def test_sigkilled_sweep_resumes_from_journal(tmp_path, monkeypatch):
                             capture_output=True, text=True, timeout=120)
     assert victim.returncode == 9, victim.stderr
     assert os.path.exists(marker)
-    journals = os.listdir(journal_dir)
-    assert len(journals) == 1 and journals[0].endswith(".jsonl")
+    # The kill leaves the journal plus its (now-stale) pidfile lock;
+    # resume steals the stale lock and proceeds.
+    journals = sorted(os.listdir(journal_dir))
+    assert len(journals) == 2
+    assert journals[0].endswith(".jsonl")
+    assert journals[1].endswith(".jsonl.lock")
 
     # Resume: the five journaled points are replayed, the in-flight
     # point and the two never-started ones are recomputed.

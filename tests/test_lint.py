@@ -356,11 +356,16 @@ class TestScoping:
         assert registry.hot
         stats = scope_for_path("src/repro/metrics/stats.py")
         assert stats.hot
+        # The service-mode cycle loop is on the paced critical path.
+        service = scope_for_path("src/repro/serve/service.py")
+        assert service.hot and not service.det
         # Siblings in the same packages stay un-hot.
         render = scope_for_path("src/repro/obs/render.py")
         assert not render.hot
         fairness = scope_for_path("src/repro/metrics/fairness.py")
         assert not fairness.hot
+        control = scope_for_path("src/repro/serve/control.py")
+        assert not control.hot
 
     def test_new_kernel_modules_are_core_hot(self):
         # The fast-path modules added by the kernel refactor fall under

@@ -43,14 +43,32 @@ class TestApproval:
 
 
 class TestRelease:
-    def test_release_frees_uid(self):
+    def test_release_frees_uid_without_immediate_reuse(self):
         module = RegistrationModule()
         record = module.approve(1, SERVICE_DATA, 0.0)
         module.release(record.uid)
         assert module.lookup_ein(1) is None
         assert module.lookup_uid(record.uid) is None
+        # Round-robin allocation: the freed ID is NOT handed straight
+        # to the next registrant (a lease-evicted subscriber may still
+        # be transmitting under it); the space rotates first.
         replacement = module.approve(2, SERVICE_DATA, 0.0)
-        assert replacement.uid == record.uid  # uid reused
+        assert replacement.uid != record.uid
+        assert module.lookup_uid(replacement.uid) is replacement
+
+    def test_released_uid_comes_back_after_rotation(self):
+        from repro.core.packets import MAX_ASSIGNABLE_UID
+
+        module = RegistrationModule(max_data_users=100)
+        first = module.approve(0, SERVICE_DATA, 0.0)
+        module.release(first.uid)
+        # Burn through the rest of the 6-bit space (sentinel excluded);
+        # only then is uid 0 eligible again.
+        seen = [module.approve(ein, SERVICE_DATA, 0.0).uid
+                for ein in range(1, MAX_ASSIGNABLE_UID + 1)]
+        assert first.uid not in seen
+        wrapped = module.approve(999, SERVICE_DATA, 0.0)
+        assert wrapped.uid == first.uid
 
     def test_release_unknown_uid(self):
         module = RegistrationModule()
