@@ -9,6 +9,8 @@ Usage::
     python -m repro sweep --loads 0.3,0.8,1.1 --seeds 1,2,3 --jobs 4
     python -m repro sweep --metrics out.jsonl --profile
     python -m repro serve --cells 2 --duration 30 --port 8080
+    python -m repro fuzz --campaign-seed 7 --budget 50 --jobs 4
+    python -m repro fuzz replay tests/fuzz_corpus/some-entry.json
     python -m repro obs out.jsonl --where load=0.8
 """
 
@@ -404,6 +406,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     return serve_run(args)
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz.cli import run as fuzz_run
+
+    return fuzz_run(args)
+
+
 def _command_obs(args: argparse.Namespace) -> int:
     """Render a recorded timeline (``--metrics`` output) as charts."""
     from repro.obs.export import read_jsonl
@@ -512,6 +520,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.serve.cli import configure_parser as _configure_serve
     _configure_serve(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="run deterministic adversarial campaigns with "
+                     "invariant oracles, shrinking, and a regression "
+                     "corpus")
+    from repro.fuzz.cli import configure_parser as _configure_fuzz
+    _configure_fuzz(fuzz_parser)
+    fuzz_parser.set_defaults(handler=_command_fuzz)
 
     obs_parser = subparsers.add_parser(
         "obs", help="render a recorded per-cycle timeline")

@@ -132,7 +132,8 @@ class BaseStation:
         self.rng = rng
 
         self.registration = RegistrationModule(
-            max_gps_users=timing.MAX_GPS_USERS)
+            max_gps_users=timing.MAX_GPS_USERS,
+            uid_allocation=config.uid_allocation)
         self.gps_mgr = GpsSlotManager(
             dynamic=config.dynamic_slot_adjustment)
         self.reverse_scheduler = RoundRobinScheduler()

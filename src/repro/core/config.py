@@ -94,6 +94,13 @@ class CellConfig:
     eviction_backoff_jitter_cycles: int = 0
     #: Run the per-cycle ``repro.faults.invariants`` monitor.
     check_invariants: bool = False
+    #: User-ID allocation policy.  'round_robin' (the default, and the
+    #: only safe choice with liveness leases) rotates through the 6-bit
+    #: space; 'lowest_free' restores the pre-fix lowest-free allocator
+    #: that livelocks a lease-evicted zombie against the new holder of
+    #: its recycled UID.  Kept ONLY as a regression hook so the fuzz
+    #: harness can demonstrate rediscovering that bug.
+    uid_allocation: str = "round_robin"
 
     # -- run control ---------------------------------------------------------
     cycles: int = 200
@@ -121,6 +128,9 @@ class CellConfig:
         if self.eviction_backoff_jitter_cycles < 0:
             raise ValueError(
                 "eviction_backoff_jitter_cycles must be >= 0")
+        if self.uid_allocation not in ("round_robin", "lowest_free"):
+            raise ValueError(
+                f"unknown uid_allocation {self.uid_allocation!r}")
         self.faults = tuple(self.faults)
         if self.faults:
             from repro.faults.schedule import FaultSpec

@@ -41,9 +41,14 @@ class Registrant:
 class RegistrationModule:
     """EIN -> user-ID assignment with service-class capacity checks."""
 
-    def __init__(self, max_gps_users: int = 8, max_data_users: int = 64):
+    def __init__(self, max_gps_users: int = 8, max_data_users: int = 64,
+                 uid_allocation: str = "round_robin"):
+        if uid_allocation not in ("round_robin", "lowest_free"):
+            raise ValueError(
+                f"unknown uid_allocation {uid_allocation!r}")
         self.max_gps_users = max_gps_users
         self.max_data_users = max_data_users
+        self.uid_allocation = uid_allocation
         self._by_ein: Dict[int, Registrant] = {}
         self._by_uid: Dict[int, Registrant] = {}
         self._active_counts: Dict[int, int] = {SERVICE_GPS: 0,
@@ -150,8 +155,18 @@ class RegistrationModule:
         the lease.  Rotating through the ID space gives the evictee the
         whole remaining space's worth of registrations to notice the
         un-ACKed slots before its ID comes around again.
+
+        ``uid_allocation='lowest_free'`` restores the pre-fix
+        lowest-free policy.  It exists purely as a regression hook: the
+        fuzz campaign's known-bug demo flips it to prove the oracle
+        stack rediscovers the uid-reuse livelock automatically.
         """
         span = MAX_ASSIGNABLE_UID + 1
+        if self.uid_allocation == "lowest_free":
+            for uid in range(span):
+                if uid not in self._by_uid:
+                    return uid
+            return None
         for offset in range(span):
             uid = (self._next_uid_hint + offset) % span
             if uid not in self._by_uid:

@@ -105,6 +105,13 @@ def publish_to_registry(stats: EngineStats) -> None:
         .inc(stats.respawns)
     resilience.labels(spec=stats.spec, kind="quarantined") \
         .inc(stats.quarantined)
+    if stats.failures:
+        salvaged = registry.counter(
+            "engine_point_failures_total",
+            "Salvaged point failures by kind "
+            "(exception, timeout, worker-crash)", ("spec", "kind"))
+        for failure in stats.failures:
+            salvaged.labels(spec=stats.spec, kind=failure.kind).inc()
     registry.counter(
         "engine_wall_seconds_total",
         "Wall-clock spent in execute()", ("spec",)) \

@@ -18,21 +18,27 @@ is exercised by three cooperating pieces:
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import InvariantMonitor
 from repro.faults.schedule import (
+    FaultParseError,
     FaultSpec,
     cf_storm,
     crash,
     fade,
+    format_fault,
+    format_faults,
     parse_faults,
     restart,
 )
 
 __all__ = [
     "FaultInjector",
+    "FaultParseError",
     "FaultSpec",
     "InvariantMonitor",
     "cf_storm",
     "crash",
     "fade",
+    "format_fault",
+    "format_faults",
     "parse_faults",
     "restart",
 ]

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
-from typing import Tuple
+from typing import Sequence, Tuple
 
 KIND_CRASH = "crash"
 KIND_RESTART = "restart"
@@ -111,43 +111,144 @@ def cf_storm(at_cycle: int, duration_cycles: int = 1,
 
 # -- CLI parser ---------------------------------------------------------------
 
+#: The legal schedule grammar, quoted verbatim in every parse error.
+GRAMMAR = ("kind:target@cycle[+duration][*loss][/channel] entries "
+           "separated by ',' or ';', where kind is one of "
+           f"{'|'.join(KINDS)}, cycle/duration are non-negative "
+           "integers, loss is a float in [0, 1], and channel is one of "
+           f"{'|'.join(CHANNELS)} -- e.g. 'crash:data-0@40;"
+           "restart:data-0@52;fade:gps-*@60+4*0.9/forward'")
+
+
+class FaultParseError(ValueError):
+    """A fault-schedule entry that does not match the grammar.
+
+    Carries enough context to act on: the 1-based entry position, the
+    entry text, the specific offending token, and the full grammar.
+    """
+
+    def __init__(self, entry: str, position: int, token: str,
+                 reason: str):
+        self.entry = entry
+        self.position = position
+        self.token = token
+        self.reason = reason
+        super().__init__(
+            f"fault entry {position} ({entry!r}): bad token "
+            f"{token!r} -- {reason}; expected {GRAMMAR}")
+
+
+def format_fault(spec: FaultSpec) -> str:
+    """Render one spec back into the ``parse_faults`` grammar.
+
+    ``parse_faults(format_fault(spec)) == (spec,)`` for every legal
+    spec -- the fuzzer relies on this round trip to keep generated
+    schedules inside the user-facing grammar.
+    """
+    text = f"{spec.kind}:{spec.target}@{spec.at_cycle}"
+    if spec.duration_cycles != 1:
+        text += f"+{spec.duration_cycles}"
+    if spec.loss != 1.0:
+        text += f"*{spec.loss}"
+    if spec.channel != CHANNEL_BOTH:
+        text += f"/{spec.channel}"
+    return text
+
+
+def format_faults(specs: Sequence[FaultSpec]) -> str:
+    """Render a whole schedule (the inverse of :func:`parse_faults`)."""
+    return ";".join(format_fault(spec) for spec in specs)
+
+
+def _parse_entry(entry: str, position: int) -> FaultSpec:
+    if ":" not in entry:
+        raise FaultParseError(entry, position, entry,
+                              "missing ':' between kind and target")
+    kind, rest = entry.split(":", 1)
+    kind = kind.strip()
+    if kind not in KINDS:
+        raise FaultParseError(
+            entry, position, kind,
+            f"unknown fault kind (legal kinds: {', '.join(KINDS)})")
+    if "@" not in rest:
+        raise FaultParseError(entry, position, rest,
+                              "missing '@cycle' after the target")
+    target, when = rest.rsplit("@", 1)
+    target = target.strip()
+    if not target:
+        raise FaultParseError(entry, position, rest,
+                              "empty target pattern before '@'")
+    channel = CHANNEL_BOTH
+    if "/" in when:
+        when, channel = when.split("/", 1)
+        channel = channel.strip()
+        if channel not in CHANNELS:
+            raise FaultParseError(
+                entry, position, channel,
+                f"unknown channel (legal: {', '.join(CHANNELS)})")
+    loss = 1.0
+    if "*" in when:
+        when, loss_text = when.split("*", 1)
+        try:
+            loss = float(loss_text)
+        except ValueError:
+            raise FaultParseError(
+                entry, position, loss_text,
+                "loss must be a float in [0, 1]") from None
+        if not 0.0 <= loss <= 1.0:
+            raise FaultParseError(entry, position, loss_text,
+                                  "loss must be in [0, 1]")
+    duration = 1
+    if "+" in when:
+        when, duration_text = when.split("+", 1)
+        try:
+            duration = int(duration_text)
+        except ValueError:
+            raise FaultParseError(
+                entry, position, duration_text,
+                "duration must be a positive integer") from None
+        if duration < 1:
+            raise FaultParseError(entry, position, duration_text,
+                                  "duration must be >= 1")
+    when = when.strip()
+    try:
+        at_cycle = int(when)
+    except ValueError:
+        raise FaultParseError(
+            entry, position, when,
+            "cycle must be a non-negative integer") from None
+    if at_cycle < 0:
+        raise FaultParseError(entry, position, when,
+                              "cycle must be non-negative")
+    return FaultSpec(kind=kind, at_cycle=at_cycle, target=target,
+                     duration_cycles=duration, loss=loss,
+                     channel=channel)
+
+
 def parse_faults(text: str) -> Tuple[FaultSpec, ...]:
     """Parse a compact fault-schedule string.
 
     Grammar (entries separated by ``,`` or ``;``)::
 
-        kind:target@cycle[+duration][*loss]
+        kind:target@cycle[+duration][*loss][/channel]
 
     Examples::
 
         crash:data-0@40
         crash:data-0@40;restart:data-0@52
         fade:gps-*@60+4*0.9
+        fade:data-1@30+2*0.95/reverse
         cf_storm:*@70+2
+
+    Raises :class:`FaultParseError` (a ``ValueError``) naming the
+    offending entry, its position, the bad token, and the grammar.
     """
     specs = []
+    position = 0
     for raw in text.replace(";", ",").split(","):
         entry = raw.strip()
         if not entry:
             continue
-        try:
-            kind, rest = entry.split(":", 1)
-            target, when = rest.rsplit("@", 1)
-            loss = 1.0
-            if "*" in when:
-                when, loss_text = when.split("*", 1)
-                loss = float(loss_text)
-            duration = 1
-            if "+" in when:
-                when, duration_text = when.split("+", 1)
-                duration = int(duration_text)
-            spec = FaultSpec(kind=kind.strip(), at_cycle=int(when),
-                             target=target.strip(),
-                             duration_cycles=duration, loss=loss)
-        except (ValueError, TypeError) as exc:
-            raise ValueError(
-                f"bad fault entry {entry!r} "
-                f"(expected kind:target@cycle[+duration][*loss]): {exc}"
-            ) from exc
-        specs.append(spec)
+        position += 1
+        specs.append(_parse_entry(entry, position))
     return tuple(specs)

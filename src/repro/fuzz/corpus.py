@@ -1,0 +1,131 @@
+"""The regression corpus: shrunk reproducers checked into the repo.
+
+A corpus entry is one JSON file pairing a (usually shrunk) case with
+the expectation CI replays it against:
+
+* ``expect: "fail"`` -- a known bug's minimal reproducer; the replay
+  must fail into the *same bucket* (once the bug is fixed the replay
+  "fails" by passing, and the entry graduates to ``expect: "pass"``);
+* ``expect: "pass"`` -- a formerly failing or otherwise interesting
+  case that must stay clean forever after.
+
+File names are derived from the bucket id (oracle + fingerprint hash),
+so re-running a campaign that rediscovers a known bug overwrites its
+entry instead of accumulating duplicates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.runner import run_fuzz_case
+
+CORPUS_SCHEMA = "repro/fuzz-corpus@1"
+
+EXPECT_PASS = "pass"
+EXPECT_FAIL = "fail"
+
+#: The checked-in corpus replayed by the tier-1 test suite.
+DEFAULT_CORPUS_DIR = "tests/fuzz_corpus"
+
+
+def bucket_id(bucket: str) -> str:
+    """A short, stable, filename-safe id for a bucket string."""
+    oracle = bucket.split(":", 1)[0]
+    digest = hashlib.sha256(bucket.encode("utf-8")).hexdigest()[:10]
+    return f"{oracle}-{digest}"
+
+
+def make_entry(case: FuzzCase, expect: str,
+               bucket: str = "",
+               notes: str = "") -> Dict[str, Any]:
+    if expect not in (EXPECT_PASS, EXPECT_FAIL):
+        raise ValueError(f"expect must be pass|fail, got {expect!r}")
+    if expect == EXPECT_FAIL and not bucket:
+        raise ValueError("a fail entry needs its bucket")
+    return {
+        "schema": CORPUS_SCHEMA,
+        "expect": expect,
+        "bucket": bucket,
+        "notes": notes,
+        "case": case.to_json(),
+    }
+
+
+def entry_filename(entry: Dict[str, Any]) -> str:
+    if entry["expect"] == EXPECT_FAIL:
+        return f"{bucket_id(entry['bucket'])}.json"
+    case = entry["case"]
+    return f"pass-{case['campaign_seed']}-{case['index']}.json"
+
+
+def write_entry(directory: str, entry: Dict[str, Any]) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, entry_filename(entry))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_entry(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    if entry.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(
+            f"{path}: expected a {CORPUS_SCHEMA} document, got "
+            f"{entry.get('schema')!r}")
+    FuzzCase.from_json(entry["case"])  # validate eagerly
+    return entry
+
+
+def iter_entries(directory: str) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Corpus entries in sorted filename order (deterministic CI)."""
+    if not os.path.isdir(directory):
+        return
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            path = os.path.join(directory, name)
+            yield path, load_entry(path)
+
+
+def replay_entry(entry: Dict[str, Any]) -> Dict[str, Any]:
+    """Re-run one entry; returns a report with the pass/fail verdict.
+
+    ``ok`` means "the replay matched the expectation": a pass entry
+    stayed clean, or a fail entry reproduced its recorded bucket.
+    """
+    case = FuzzCase.from_json(entry["case"])
+    verdict = run_fuzz_case(case)
+    expected = entry["expect"]
+    actual_bucket = verdict.get("bucket")
+    if expected == EXPECT_PASS:
+        ok = verdict["ok"]
+        detail = ("clean" if ok else
+                  f"regressed into bucket {actual_bucket!r}")
+    else:
+        ok = actual_bucket == entry["bucket"]
+        if ok:
+            detail = f"reproduced bucket {actual_bucket!r}"
+        elif verdict["ok"]:
+            detail = ("no longer reproduces -- if the bug was fixed, "
+                      "flip this entry to expect: pass")
+        else:
+            detail = (f"bucket drifted: recorded {entry['bucket']!r}, "
+                      f"got {actual_bucket!r}")
+    return {"ok": ok, "expected": expected, "detail": detail,
+            "verdict": verdict}
+
+
+def replay_corpus(directory: str) -> List[Dict[str, Any]]:
+    """Replay every entry; returns per-entry reports (with paths)."""
+    reports = []
+    for path, entry in iter_entries(directory):
+        report = replay_entry(entry)
+        report["path"] = path
+        reports.append(report)
+    return reports

@@ -33,6 +33,13 @@ CORE_PACKAGES: Set[str] = {"sim", "core", "phy", "protocols", "traffic"}
 DET_EXEMPT_MODULES: Set[Tuple[str, ...]] = {("sim", "rng")}
 PROTO_EXEMPT_MODULES: Set[Tuple[str, ...]] = {("phy", "timing")}
 
+#: Packages outside the core that still must be deterministic.  The
+#: fuzzer's whole value is reproducibility: a case must be a pure
+#: function of (campaign seed, index), so generator randomness is
+#: forced through seeded ``RandomStreams`` and wall-clock reads are
+#: banned exactly as in the protocol core.
+DET_EXTRA_PACKAGES: Set[str] = {"fuzz"}
+
 #: Hot-path modules *outside* the core packages.  These sit on the
 #: per-event or per-cycle path even though their packages are otherwise
 #: engine/CLI-side: the profiler and metrics registry are called from
@@ -46,6 +53,14 @@ HOT_EXTRA_MODULES: Set[Tuple[str, ...]] = {
     # The service-mode cycle loop steps the simulator once per paced
     # cycle; its per-cycle bookkeeping is on the same critical path.
     ("serve", "service"),
+    # The fuzz evaluation path runs whole simulations per case; its
+    # per-case modules must not print or open files mid-campaign
+    # (reporting lives in campaign/corpus/cli, which stay exempt).
+    ("fuzz", "case"),
+    ("fuzz", "generator"),
+    ("fuzz", "oracles"),
+    ("fuzz", "runner"),
+    ("fuzz", "shrink"),
 }
 
 #: The linter itself is exempt from every family (its rule tables spell
@@ -149,7 +164,8 @@ def scope_for_path(path: str) -> Scope:
                      proto_core=False, hot=False)
     in_core = package in CORE_PACKAGES
     return Scope(
-        det=in_core and parts not in DET_EXEMPT_MODULES,
+        det=(in_core or package in DET_EXTRA_PACKAGES)
+        and parts not in DET_EXEMPT_MODULES,
         par=True,
         proto=parts not in PROTO_EXEMPT_MODULES,
         proto_core=in_core,

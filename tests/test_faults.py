@@ -175,6 +175,40 @@ class TestFaultSchedule:
         with pytest.raises(ValueError):
             parse_faults("meteor:data-0@4")
 
+    def test_parse_error_names_token_position_and_grammar(self):
+        from repro.faults.schedule import GRAMMAR, FaultParseError
+
+        with pytest.raises(FaultParseError) as excinfo:
+            parse_faults("crash:data-0@40;meteor:data-0@4")
+        error = excinfo.value
+        assert error.position == 2          # 1-based entry position
+        assert error.entry == "meteor:data-0@4"
+        assert error.token == "meteor"
+        assert "meteor" in str(error)
+        assert GRAMMAR in str(error)
+
+    def test_parse_error_flags_bad_numbers(self):
+        from repro.faults.schedule import FaultParseError
+
+        with pytest.raises(FaultParseError) as excinfo:
+            parse_faults("fade:gps-*@60+four")
+        assert excinfo.value.token == "four"
+        with pytest.raises(FaultParseError) as excinfo:
+            parse_faults("fade:gps-*@60*1.5")
+        assert excinfo.value.token == "1.5"
+        with pytest.raises(FaultParseError) as excinfo:
+            parse_faults("fade:gps-*@60/diagonal")
+        assert excinfo.value.token == "diagonal"
+
+    def test_format_round_trips_every_generated_schedule(self):
+        from repro.faults.schedule import format_faults
+
+        specs = (crash("data-0", 40), restart_spec("data-0", 52),
+                 fade("gps-*", 60, duration_cycles=4, loss=0.9,
+                      channel="forward"),
+                 cf_storm(70, duration_cycles=2, target="data-*"))
+        assert parse_faults(format_faults(specs)) == specs
+
     def test_spec_validation(self):
         with pytest.raises(ValueError):
             FaultSpec(kind="crash", at_cycle=-1)

@@ -1,0 +1,156 @@
+"""InvariantMonitor edge cases the fuzz oracles lean on.
+
+The fuzzer treats the monitor as ground truth, so these pin the three
+properties its verdicts depend on: a corruption is reported on the
+exact first offending cycle (bucketing fingerprints carry that cycle),
+a crash/restart sequence leaves the monitor silent (restarts must not
+be findings), and the registry bijection check fires under concurrent
+lease eviction + re-registration churn (the uid-reuse window).
+"""
+
+import pytest
+
+from repro import CellConfig
+from repro.core.cell import build_cell, run_cell_detailed
+from repro.core.packets import SERVICE_DATA, SERVICE_GPS
+from repro.core.registration import RegistrationModule
+from repro.faults import crash, fade, restart
+from repro.faults.invariants import CHECK_OFFSET
+from repro.phy import timing
+
+
+def _cycle_of(when: float) -> int:
+    return int(when / timing.CYCLE_LENGTH)
+
+
+class TestFirstOffendingCycle:
+    def test_corruption_reported_on_its_first_cycle(self):
+        """Corrupt the registry just before cycle N's check; the first
+        recorded violation must carry cycle N, not N+1 or later."""
+        config = CellConfig(num_data_users=3, num_gps_users=1,
+                            load_index=0.4, cycles=40,
+                            warmup_cycles=8, seed=11,
+                            check_invariants=True)
+        run = build_cell(config)
+        target_cycle = 20
+        # Advance to just *before* the monitor's check inside cycle 20
+        # (checks fire at CHECK_OFFSET into each cycle), then corrupt.
+        run.sim.run(until=target_cycle * timing.CYCLE_LENGTH
+                    + 0.5 * CHECK_OFFSET)
+        registry = run.base_station.registration
+        record = registry.registrants()[0]
+        # Drop the UID-side record only: the EIN map now dangles.
+        del registry._by_uid[record.uid]
+        run.sim.run(until=config.duration)
+        monitor = run.monitor
+        assert monitor.violations, "corruption went undetected"
+        first_when, first_message = monitor.violations[0]
+        assert _cycle_of(first_when) == target_cycle
+        assert "registry" in first_message
+        # The corruption persists, so later cycles keep re-reporting;
+        # nothing is ever backdated before the offending cycle.
+        assert len(monitor.violations) >= 2
+        cycles = [_cycle_of(when) for when, _ in monitor.violations]
+        assert min(cycles) == target_cycle
+        assert max(cycles) > target_cycle
+
+    def test_clean_run_reports_nothing(self):
+        config = CellConfig(num_data_users=3, num_gps_users=1,
+                            load_index=0.4, cycles=40,
+                            warmup_cycles=8, seed=11,
+                            check_invariants=True)
+        run = run_cell_detailed(config)
+        assert run.monitor.violations == []
+        assert run.monitor.checks_run >= config.cycles - 1
+
+
+class TestCleanAfterRestart:
+    def test_crash_restart_sequence_stays_silent(self):
+        """A full crash -> lease eviction -> restart -> re-registration
+        arc is recovery working as designed, not a finding."""
+        config = CellConfig(num_data_users=4, num_gps_users=2,
+                            load_index=0.5, cycles=90,
+                            warmup_cycles=12, seed=23,
+                            faults=(crash("gps-1", 20),
+                                    restart("gps-1", 34),
+                                    crash("data-2", 25),
+                                    restart("data-2", 30)),
+                            liveness_lease_cycles=6,
+                            check_invariants=True)
+        run = run_cell_detailed(config)
+        assert run.stats.faults_injected == 4
+        # The GPS crash outlives the lease: eviction really happened.
+        assert run.stats.lease_evictions >= 1
+        assert run.monitor.violations == []
+        assert run.stats.invariant_violations == 0
+        # And the restarted units made it back.
+        registry = run.base_station.registration
+        assert registry.lookup_ein(run.gps_units[1].ein) is not None
+        assert registry.lookup_ein(run.data_users[2].ein) is not None
+
+    def test_monitor_keeps_checking_after_recovery(self):
+        config = CellConfig(num_data_users=2, num_gps_users=1,
+                            load_index=0.3, cycles=60,
+                            warmup_cycles=10, seed=5,
+                            faults=(crash("data-0", 18),
+                                    restart("data-0", 24)),
+                            liveness_lease_cycles=5,
+                            check_invariants=True)
+        run = run_cell_detailed(config)
+        # One check per cycle from CHECK_OFFSET on, fault or no fault.
+        assert run.monitor.checks_run >= config.cycles - 1
+
+
+class TestBijectionUnderChurn:
+    def test_eviction_and_reregistration_churn_holds_bijection(self):
+        """A deep reverse fade longer than the lease forces eviction of
+        an alive unit, whose re-registration then interleaves with the
+        victim's zombie transmissions -- the uid-reuse window.  The
+        per-cycle bijection check must hold throughout (round-robin
+        allocation keeps the recycled uid out of reach)."""
+        config = CellConfig(num_data_users=5, num_gps_users=2,
+                            load_index=0.6, cycles=80,
+                            warmup_cycles=10, seed=31,
+                            faults=(fade("gps-0", 20, duration_cycles=9,
+                                         loss=1.0, channel="reverse"),
+                                    fade("data-1", 24, duration_cycles=9,
+                                         loss=1.0, channel="reverse")),
+                            liveness_lease_cycles=6,
+                            check_invariants=True)
+        run = run_cell_detailed(config)
+        assert run.stats.lease_evictions >= 1, \
+            "fade was meant to outlive the lease"
+        assert run.monitor.violations == []
+        run.base_station.registration.check_invariants()
+
+    def test_registry_bijection_unit_level_churn(self):
+        """Interleave approvals and releases directly; the incremental
+        counters and both maps must agree after every step."""
+        module = RegistrationModule(max_gps_users=8, max_data_users=16)
+        live = {}
+        import random
+        rng = random.Random(7)
+        for step in range(400):
+            if live and rng.random() < 0.45:
+                uid = rng.choice(sorted(live))
+                released = module.release(uid)
+                assert released is not None
+                assert released.ein == live.pop(uid)
+            else:
+                ein = 1000 + step
+                service = SERVICE_GPS if rng.random() < 0.3 \
+                    else SERVICE_DATA
+                record = module.approve(ein, service, now=float(step))
+                if record is not None:
+                    assert record.uid not in live, \
+                        "uid handed out twice"
+                    live[record.uid] = ein
+            module.check_invariants()
+        assert module.active_gps + module.active_data == len(live)
+
+    def test_bijection_check_catches_dangling_ein(self):
+        module = RegistrationModule()
+        record = module.approve(1234, SERVICE_DATA, now=0.0)
+        del module._by_uid[record.uid]
+        with pytest.raises(AssertionError):
+            module.check_invariants()
