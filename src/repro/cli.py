@@ -5,6 +5,7 @@ Usage::
     python -m repro run --load 0.8 --data-users 9 --gps-users 3
     python -m repro run --metrics out.jsonl --profile --trace trace.jsonl
     python -m repro network --cells 3 --load 0.4 --handoffs 2
+    python -m repro city --demo --jobs 4
     python -m repro experiments fig8a fig12b --quick --jobs 4
     python -m repro sweep --loads 0.3,0.8,1.1 --seeds 1,2,3 --jobs 4
     python -m repro sweep --metrics out.jsonl --profile
@@ -204,7 +205,18 @@ def _command_network(args: argparse.Namespace) -> int:
         target = (source + 1) % args.cells
         when = (args.warmup + 20 + 25 * index) * timing.CYCLE_LENGTH
         network.handoff(mover.ein, target, at_time=when)
+    if args.metrics:
+        from repro.obs.registry import default_registry
+
+        default_registry().enable()
     stats = network.run()
+    if args.metrics:
+        from repro.obs.export import write_prometheus
+        from repro.obs.registry import default_registry
+
+        write_prometheus(args.metrics, default_registry())
+        print(f"[metrics] osu_network_* -> {args.metrics}",
+              file=sys.stderr)
     payload = {
         "messages_routed": stats.messages_routed,
         "messages_forwarded": stats.messages_forwarded,
@@ -412,6 +424,12 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     return fuzz_run(args)
 
 
+def _command_city(args: argparse.Namespace) -> int:
+    from repro.shard.cli import run as city_run
+
+    return city_run(args)
+
+
 def _command_obs(args: argparse.Namespace) -> int:
     """Render a recorded timeline (``--metrics`` output) as charts."""
     from repro.obs.export import read_jsonl
@@ -476,6 +494,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     network_parser.add_argument("--warmup", type=int, default=20)
     network_parser.add_argument("--handoffs", type=int, default=0)
     network_parser.add_argument("--seed", type=int, default=1)
+    network_parser.add_argument("--metrics", metavar="PATH",
+                                default=None,
+                                help="write osu_network_* families to "
+                                     "PATH in Prometheus text format")
     network_parser.add_argument("--json", action="store_true")
     network_parser.set_defaults(handler=_command_network)
 
@@ -528,6 +550,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.fuzz.cli import configure_parser as _configure_fuzz
     _configure_fuzz(fuzz_parser)
     fuzz_parser.set_defaults(handler=_command_fuzz)
+
+    city_parser = subparsers.add_parser(
+        "city", help="run a city-scale sharded multicell simulation "
+                     "in lockstep epochs over the engine pool")
+    from repro.shard.cli import configure_parser as _configure_city
+    _configure_city(city_parser)
+    city_parser.set_defaults(handler=_command_city)
 
     obs_parser = subparsers.add_parser(
         "obs", help="render a recorded per-cycle timeline")

@@ -133,6 +133,24 @@ class GpsSubscriber(SubscriberBase):
     def _on_eviction_suspected(self) -> None:
         self._missing_cycles = 0
 
+    def transfer_state(self) -> dict:
+        """Report-sequence continuity for a cross-shard handoff.
+
+        Pending location fixes do not travel: they would age out during
+        re-registration anyway (see :meth:`_on_activated`), matching the
+        protocol's no-backlog rule for GPS reports.
+        """
+        state = super().transfer_state()
+        state.update({"kind": "gps", "seq": self._seq,
+                      "reports_generated": self.reports_generated})
+        return state
+
+    def restore_transfer_state(self, state: dict) -> None:
+        super().restore_transfer_state(state)
+        self._seq = int(state.get("seq", 0))
+        self.reports_generated = int(
+            state.get("reports_generated", 0))
+
     def _transmit_report(self, cycle: int, slot_index: int,
                          start: float) -> None:
         if not self.alive:

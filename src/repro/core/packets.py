@@ -168,18 +168,27 @@ class RegistrationPacket:
     Sent in a contention slot; the subscriber has no user ID yet, so the
     packet carries the permanent 16-bit EIN and the requested service
     class.  Layout: uid=63:6 type:2 ein:16 service:2 pad.
+
+    EINs that overflow the 16-bit wire field are allowed on the packet
+    object (multi-cell cities address more than 2**16 - 1 subscribers
+    and never run full fidelity); ``encode`` enforces the field width.
     """
 
     ein: int
     service: int = SERVICE_DATA
 
     def __post_init__(self) -> None:
-        if not 0 <= self.ein < (1 << timing.EIN_BITS) - 1:
+        reserved = (1 << timing.EIN_BITS) - 1  # 0xFFFF: the ACK sentinel
+        if self.ein < 0 or self.ein & reserved == reserved:
             raise ValueError(f"EIN {self.ein} out of range (0xFFFF reserved)")
         if self.service not in (SERVICE_DATA, SERVICE_GPS):
             raise ValueError(f"unknown service class {self.service}")
 
     def encode(self) -> bytes:
+        if self.ein >= (1 << timing.EIN_BITS) - 1:
+            raise ValueError(
+                f"EIN {self.ein} does not fit the {timing.EIN_BITS}-bit "
+                f"wire field")
         writer = BitWriter()
         writer.write(UNASSIGNED, 6)
         writer.write(TYPE_REGISTRATION, 2)

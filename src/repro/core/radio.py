@@ -111,3 +111,14 @@ class HalfDuplexRadio:
     @property
     def claim_count(self) -> int:
         return len(self._claims)
+
+    def tx_busy_until(self) -> float:
+        """End of the latest scheduled transmission (0.0 if none).
+
+        Handoff uses this: a subscriber whose final uplink slot spills
+        past the cycle boundary is still on the air when it re-tunes,
+        and must not start listening in the new cell until the
+        transmission (plus turnaround) has cleared.
+        """
+        return max((claim.end for claim in self._claims
+                    if claim.kind == TX), default=0.0)

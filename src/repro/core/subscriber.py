@@ -29,6 +29,7 @@ cycle (Section 3.4, Problem 2).
 
 from __future__ import annotations
 
+import math
 import random
 from collections import deque
 from typing import Deque, Dict, Optional, Set, Tuple
@@ -70,6 +71,10 @@ REGISTERING = "registering"
 ACTIVE = "active"
 FAILED = "failed"
 CRASHED = "crashed"
+#: Left this cell for good (cross-shard handoff): the object stays
+#: behind as an inert husk while a transfer record re-creates the
+#: subscriber in its destination cell (see ``repro.shard``).
+DEPARTED = "departed"
 
 #: On-air time of a packet inside a reverse data slot (slot minus guard).
 DATA_ON_AIR = timing.DATA_SLOT_TIME - timing.GUARD_TIME
@@ -396,6 +401,59 @@ class SubscriberBase:
     def _on_eviction_suspected(self) -> None:
         """Subclass hook: reset per-registration transmission state."""
 
+    def depart(self) -> None:
+        """Leave this cell for good (cross-shard handoff capture).
+
+        Unlike :meth:`crash`, departing is not a fault: the application
+        state has already been captured into a transfer record (see
+        :meth:`transfer_state`), so nothing is counted as dropped.  The
+        husk left behind stops hearing the forward channel and never
+        transmits again (scheduled slot transmissions check ``alive`` at
+        fire time, exactly as for crashes).
+        """
+        self.forward_channel.detach(self.ein)
+        self.alive = False
+        self.state = DEPARTED
+        self.uid = None
+        self._registration = None
+        self._cf2_cycle = None
+        self.recovery_started_at = None
+        self._reregister_not_before = 0.0
+
+    # -- cross-cell transfer records ---------------------------------------
+
+    def transfer_state(self) -> Dict:
+        """JSON-serializable state that travels in a handoff record.
+
+        The base payload identifies the subscriber; subclasses extend it
+        with the application state that survives a handoff (the data
+        subscriber's uplink queue, the GPS unit's report sequence).
+        """
+        return {"ein": self.ein, "kind": "sub",
+                "radio_tx_end": self.radio.tx_busy_until()}
+
+    def restore_transfer_state(self, state: Dict) -> None:
+        """Adopt a :meth:`transfer_state` payload in the new cell."""
+        self._defer_cf1_while_transmitting(
+            float(state.get("radio_tx_end", 0.0)))
+
+    def _defer_cf1_while_transmitting(self, tx_end: float) -> None:
+        """Skip the next CF1 if a tail transmission is still on the air.
+
+        The last uplink slot of a cycle legitimately spills past the
+        cycle boundary; in-cell the protocol handles it by having the
+        subscriber catch the CF2 rebroadcast (Section 3.1).  A handoff
+        must carry that deferral into the new cell, or the half-duplex
+        radio would be told to listen to CF1 mid-transmission.
+        """
+        if tx_end <= 0.0:
+            return
+        cycle_length = timing.CYCLE_LENGTH
+        next_cycle = math.ceil((self.sim.now - 1e-9) / cycle_length)
+        cf1_start = next_cycle * cycle_length + timing.CF1_OFFSET
+        if tx_end + self.radio.turnaround > cf1_start:
+            self._cf2_cycle = next_cycle
+
     def relocate(self, forward: ForwardChannel, reverse: ReverseChannel,
                  forward_link: Link, reverse_link: Link) -> None:
         """Hand the subscriber off to another cell.
@@ -420,6 +478,7 @@ class SubscriberBase:
         self.activated_at = None
         self._registration = None
         self._cf2_cycle = None
+        self._defer_cf1_while_transmitting(self.radio.tx_busy_until())
         self._on_relocated()
 
     def _on_relocated(self) -> None:
@@ -558,6 +617,46 @@ class DataSubscriber(SubscriberBase):
         self._requeue_inflight()
         self._pending_request = None
         self._backoff_cycles = 0
+
+    def transfer_state(self) -> Dict:
+        """Uplink queue + sequence state for a cross-shard handoff.
+
+        In-flight packets were never acknowledged by the old cell, so
+        they are folded back into the queue head before the snapshot --
+        the same contract as an intra-simulator :meth:`relocate`.
+        """
+        self._requeue_inflight()
+        state = super().transfer_state()
+        state.update({
+            "kind": "data",
+            "seq": self._seq,
+            "forward_seq": self._forward_seq,
+            "messages_submitted": self.messages_submitted,
+            "queue": [{
+                "seq": packet.seq,
+                "payload_len": packet.payload_len,
+                "more": packet.more,
+                "message_id": packet.message_id,
+                "created_at": packet.created_at,
+                "destination_ein": packet.destination_ein,
+            } for packet in self.queue],
+        })
+        return state
+
+    def restore_transfer_state(self, state: Dict) -> None:
+        super().restore_transfer_state(state)
+        self._seq = int(state.get("seq", 0))
+        self._forward_seq = int(state.get("forward_seq", 0))
+        self.messages_submitted = int(state.get("messages_submitted", 0))
+        for entry in state.get("queue", ()):
+            self.queue.append(DataPacket(
+                uid=self.uid if self.uid is not None else 0,
+                seq=int(entry["seq"]),
+                payload_len=int(entry["payload_len"]),
+                more=bool(entry["more"]),
+                message_id=int(entry["message_id"]),
+                created_at=float(entry["created_at"]),
+                destination_ein=entry.get("destination_ein")))
 
     def _on_crashed(self) -> None:
         # Volatile buffers are lost with the power.  Every queued or

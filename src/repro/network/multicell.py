@@ -25,13 +25,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.base_station import BaseStation
-from repro.core.cell import CellRun, build_cell
+from repro.core.cell import CellRun, _make_error_model, build_cell
 from repro.core.config import CellConfig
 from repro.core.packets import PAYLOAD_BYTES, DataPacket, ForwardPacket
 from repro.core.subscriber import DataSubscriber
 from repro.metrics.stats import SummaryStats
 from repro.network.backbone import Backbone
 from repro.phy import timing
+from repro.phy.channel import Link
 from repro.sim import RandomStreams, Simulator
 from repro.traffic.messages import (
     Message,
@@ -261,19 +262,20 @@ class MultiCellNetwork:
         if subscriber.uid is not None:
             old_bs.sign_off(subscriber.uid)
         target = self.cells[to_cell]
-        stream = self.streams[f"handoff-{ein}-{to_cell}"]
-        from repro.core.cell import _make_error_model
-        from repro.phy.channel import Link
+        # Per-direction streams, matching build_cell's _make_link
+        # discipline: the forward and reverse links (and their error
+        # models) must not share one RNG sequence.
+        cell_cfg = self.config.cell
+
+        def relocation_link(direction: str) -> Link:
+            stream = self.streams[f"handoff-{ein}-{to_cell}-{direction}"]
+            return Link(_make_error_model(cell_cfg, stream), stream,
+                        full_fidelity=cell_cfg.full_fidelity)
+
         subscriber.relocate(
             target.base_station.forward, target.base_station.reverse,
-            forward_link=Link(_make_error_model(self.config.cell,
-                                                stream), stream,
-                              full_fidelity=self.config.cell
-                              .full_fidelity),
-            reverse_link=Link(_make_error_model(self.config.cell,
-                                                stream), stream,
-                              full_fidelity=self.config.cell
-                              .full_fidelity))
+            forward_link=relocation_link("fwd"),
+            reverse_link=relocation_link("rev"))
         self.directory[ein] = (to_cell, subscriber)
         self.stats.handoffs_completed += 1
 
@@ -289,7 +291,48 @@ class MultiCellNetwork:
                     subscriber.radio.violations)
             for unit in run.gps_units:
                 run.stats.radio_violations += len(unit.radio.violations)
+        publish_network_stats(self.stats, self.backbone.total_bytes)
         return self.stats
+
+
+def publish_network_stats(stats: NetworkStats,
+                          backbone_bytes: int = 0) -> None:
+    """Publish network-level totals into the obs metrics registry.
+
+    A no-op unless the process-global registry is enabled (``--metrics``
+    on the CLIs), same cost discipline as every other publishing site.
+    Call once per finished run: counters are incremented by the run's
+    totals, so ``repro obs`` and the Prometheus sidecar see multi-cell
+    runs alongside single cells.
+    """
+    from repro.obs.registry import default_registry
+
+    registry = default_registry()
+    if not registry.enabled:
+        return
+    messages = registry.counter(
+        "osu_network_messages_total",
+        "Multi-cell messages by disposition", ("kind",))
+    messages.labels("routed").inc(stats.messages_routed)
+    messages.labels("delivered_local").inc(
+        stats.messages_delivered_local)
+    messages.labels("forwarded").inc(stats.messages_forwarded)
+    messages.labels("buffered_for_registration").inc(
+        stats.messages_buffered_for_registration)
+    handoffs = registry.counter(
+        "osu_network_handoffs_total",
+        "Subscriber handoffs between cells", ("kind",))
+    handoffs.labels("requested").inc(stats.handoffs_requested)
+    handoffs.labels("completed").inc(stats.handoffs_completed)
+    registry.counter(
+        "osu_network_backbone_bytes_total",
+        "Bytes carried by the wired backbone").inc(backbone_bytes)
+    delay = registry.histogram(
+        "osu_network_end_to_end_delay_seconds",
+        "Cross-cell end-to-end message delay",
+        buckets=(1.0, 2.5, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0))
+    for sample in stats.end_to_end_delay.samples or ():
+        delay.observe(sample)
 
 
 @dataclass

@@ -1,0 +1,64 @@
+"""Cross-shard envelopes and their canonical ordering.
+
+Envelopes are the *only* channel between shards: everything a shard
+wants the rest of the city to see must be folded into plain-JSON dicts
+emitted at the epoch barrier.  Two kinds exist:
+
+* ``message`` -- a reassembled inter-cell message in flight on the
+  backbone toward a cell another shard owns.
+* ``handoff`` -- a subscriber that departed one shard for another,
+  carrying its transfer state (uplink queue, sequence counters) from
+  :meth:`repro.core.subscriber.SubscriberBase.transfer_state`.  Handoff
+  envelopes double as directory updates and are broadcast to every
+  shard.
+
+Determinism rests on the ordering contract: before any envelope crosses
+a barrier it is sorted by :func:`canonical_sort_key`, so the coordinator
+merge and each shard's inbound application see one well-defined
+sequence regardless of which worker produced what first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+MESSAGE = "message"
+HANDOFF = "handoff"
+
+_TYPE_RANK = {HANDOFF: 0, MESSAGE: 1}
+
+
+def message_envelope(*, dest_ein: int, dest_cell: int, message_id: int,
+                     size_bytes: int, created_at: float, src_cell: int,
+                     sent_at: float, hops: int = 0) -> Dict[str, Any]:
+    return {"type": MESSAGE, "dest_ein": dest_ein,
+            "dest_cell": dest_cell, "message_id": message_id,
+            "size_bytes": size_bytes, "created_at": created_at,
+            "src_cell": src_cell, "sent_at": sent_at, "hops": hops}
+
+
+def handoff_envelope(*, ein: int, from_cell: int, to_cell: int,
+                     depart_time: float, hop: int,
+                     state: Dict[str, Any]) -> Dict[str, Any]:
+    return {"type": HANDOFF, "ein": ein, "from_cell": from_cell,
+            "to_cell": to_cell, "depart_time": depart_time,
+            "hop": hop, "state": state}
+
+
+def canonical_sort_key(env: Dict[str, Any]):
+    """Total order over envelopes, stable across producers.
+
+    Handoffs sort before messages so directory updates land before the
+    messages that consult the directory; within a kind the key is
+    (time, ein, cells, id) which is unique for any one epoch's traffic.
+    """
+    rank = _TYPE_RANK[env["type"]]
+    if env["type"] == HANDOFF:
+        return (rank, env["depart_time"], env["ein"],
+                env["from_cell"], env["to_cell"], env["hop"], 0)
+    return (rank, env["sent_at"], env["dest_ein"], env["src_cell"],
+            env["dest_cell"], env["hops"], env["message_id"])
+
+
+def canonical_order(envelopes: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return sorted(envelopes, key=canonical_sort_key)

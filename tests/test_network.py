@@ -185,6 +185,51 @@ class TestHandoff:
         assert net.stats.messages_buffered_for_registration >= 1
         assert received, "buffered message never reached the mover"
 
+    def test_buffered_messages_flush_exactly_once_on_registration(self):
+        """The paging path end to end: messages for a mid-handoff
+        destination land in ``_waiting``, are counted, and the
+        registration handler flushes each exactly once -- never again on
+        later re-registrations."""
+        net = build_network(network_config(load_index=0.0,
+                                           inter_cell_fraction=0.0))
+        mover = net.cells[0].data_users[0]
+        move_at = 40 * timing.CYCLE_LENGTH
+        net.handoff(mover.ein, 1, at_time=move_at)
+
+        from repro.traffic.messages import Message
+
+        def inject():
+            # Two distinct messages while the mover is unregistered:
+            # both must wait in _waiting, then flush together.
+            for message_id in (777001, 777002):
+                net._route(source_cell=1, message=Message(
+                    message_id=message_id, size_bytes=120,
+                    created_at=net.sim.now,
+                    destination_ein=mover.ein))
+            assert len(net._waiting[mover.ein]) == 2
+
+        net.sim.call_at(move_at + 0.5, inject)
+        deliveries = []
+        previous_hook = mover.on_message_received
+
+        def on_received(packet):
+            if packet.message_id in (777001, 777002):
+                deliveries.append((packet.message_id, net.sim.now))
+            if previous_hook:
+                previous_hook(packet)
+
+        mover.on_message_received = on_received
+        # A second handoff after the flush: re-registering in cell 0
+        # must not replay the already-delivered messages.
+        net.handoff(mover.ein, 0, at_time=70 * timing.CYCLE_LENGTH)
+        net.run()
+        assert net.stats.messages_buffered_for_registration == 2
+        received_ids = sorted(message_id
+                              for message_id, _time in deliveries)
+        assert received_ids == [777001, 777002], deliveries
+        assert all(at > move_at for _mid, at in deliveries)
+        assert net._waiting == {}
+
     def test_uplink_queue_travels_with_subscriber(self):
         net = build_network(network_config(load_index=0.3,
                                            inter_cell_fraction=0.0))
