@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import tempfile
 from collections import defaultdict
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.cell import build_cell, finalize_run
 from repro.faults.schedule import parse_faults
@@ -72,7 +72,7 @@ def _observe_cell(case: FuzzCase) -> Observation:
     run.sim.run(until=config.duration)
     finalize_run(run)
 
-    legacy_summary = None
+    legacy_summary: Optional[Dict[str, float]] = None
     if case.differential:
         from repro.sim.legacy import LegacySimulator
 

@@ -1,13 +1,16 @@
 """maclint: protocol-aware static analysis for the OSU-MAC codebase.
 
-Dependency-free AST checks guarding the repository's three headline
+Dependency-free AST checks guarding the repository's headline
 guarantees -- deterministic replay (DET), process-pool safety (PAR),
-single-sourced paper constants (PROTO) -- plus hot-path hygiene (HOT).
-See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
+single-sourced paper constants (PROTO), hot-path hygiene (HOT) -- plus
+the v2 whole-program taint pass (FLOW) that follows wall-clock, RNG,
+and iteration-order provenance across function and file boundaries.
+See ``docs/STATIC_ANALYSIS.md`` for the architecture and the
 pragma/baseline workflow, and ``python -m repro lint --list-rules`` for
 a quick reference.
 """
 
+from repro.lint.api import ProjectReport, check_project
 from repro.lint.baseline import (
     BASELINE_FILENAME,
     fingerprint,
@@ -25,8 +28,11 @@ from repro.lint.checker import (
     check_source,
     scope_for_path,
 )
+from repro.lint.flow import FlowEngine, analyze_project
 from repro.lint.pragmas import PragmaSet, parse_pragmas
+from repro.lint.project import Project
 from repro.lint.rules import FAMILIES, PAPER_CONSTANTS, RULES, Rule
+from repro.lint.sarif import sarif_report
 
 __all__ = [
     "BASELINE_FILENAME",
@@ -34,18 +40,24 @@ __all__ = [
     "FAMILIES",
     "FileReport",
     "Finding",
+    "FlowEngine",
     "LintSyntaxError",
     "PAPER_CONSTANTS",
     "PragmaSet",
+    "Project",
+    "ProjectReport",
     "RULES",
     "Rule",
     "Scope",
+    "analyze_project",
     "check_file",
+    "check_project",
     "check_source",
     "fingerprint",
     "load_baseline",
     "parse_pragmas",
     "partition",
+    "sarif_report",
     "scope_for_path",
     "write_baseline",
 ]

@@ -1,0 +1,115 @@
+"""The maclint v2 project driver.
+
+:func:`check_project` is the one entry point that combines both
+analysis tiers:
+
+1. the **syntactic** per-module pass (:func:`repro.lint.checker
+   .check_source`) -- DET/PAR/PROTO rules exactly as in v1, but with
+   the HOT family *disabled* for files under the ``repro`` package:
+   curated hot-path module lists are superseded by call-graph
+   reachability (files outside the tree -- ad-hoc fixtures -- keep the
+   maximally strict v1 behaviour, reachability included, since they
+   form their own tiny project);
+2. the **whole-program** pass (:mod:`repro.lint.flow`) -- the taint
+   engine plus reachability-scoped HOT and PAR004, run over a
+   :class:`repro.lint.project.Project` built from *every* file handed
+   in, so taint crosses file boundaries.
+
+The analysis universe and the reporting set are distinct: ``repro lint
+src/repro/serve`` must still see a clock value that a serve function
+sends into an engine journal helper, so the driver indexes the whole
+universe but only reports findings whose location is in a target file.
+Pragma suppression applies at the finding's own line -- for a
+cross-function flow that is the **sink** line, so one justified
+``# maclint: disable=FLOW102`` where the value lands silences the
+whole chain without blessing the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.checker import (
+    Finding,
+    LintSyntaxError,
+    check_source,
+    repro_module_parts,
+    scope_for_path,
+)
+from repro.lint.flow import analyze_project
+from repro.lint.pragmas import PragmaSet, parse_pragmas
+from repro.lint.project import Project
+
+
+@dataclass
+class ProjectReport:
+    """The outcome of a whole-project check."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    checked_files: int = 0
+
+
+def check_project(sources: Sequence[Tuple[str, str]],
+                  targets: Optional[Set[str]] = None,
+                  flow: bool = True) -> ProjectReport:
+    """Check ``(display_path, source)`` pairs as one project.
+
+    ``targets`` restricts which files findings are *reported* for
+    (default: all of them); every file always participates in the
+    project index.  ``flow=False`` falls back to the pure v1
+    per-module pass, curated HOT scoping included.
+    """
+    report = ProjectReport()
+    pragma_sets: Dict[str, PragmaSet] = {}
+    parsed: List[Tuple[str, str]] = []
+    target_set = targets if targets is not None \
+        else {path for path, _ in sources}
+    report.checked_files = len(target_set)
+    seen: Set[Tuple[str, str, int]] = set()
+
+    for path, source in sources:
+        pragmas = parse_pragmas(source)
+        pragma_sets[path] = pragmas
+        in_tree = repro_module_parts(path) is not None
+        scope = scope_for_path(path)
+        if flow and in_tree:
+            scope = replace(scope, hot=False)
+        try:
+            file_report = check_source(source, path, pragmas=pragmas,
+                                       scope=scope)
+        except LintSyntaxError as error:
+            if path in target_set:
+                report.errors.append(f"syntax error: {error}")
+            continue
+        parsed.append((path, source))
+        if path not in target_set:
+            continue
+        for finding in file_report.findings:
+            seen.add((finding.rule, finding.path, finding.line))
+            report.findings.append(finding)
+        report.suppressed.extend(file_report.suppressed)
+        report.errors.extend(f"{path}: {message}"
+                             for message in file_report.pragma_errors)
+
+    if flow and parsed:
+        project = Project.build(parsed)
+        for finding in analyze_project(project):
+            if finding.path not in target_set:
+                continue
+            key = (finding.rule, finding.path, finding.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            pragmas = pragma_sets.get(finding.path)
+            if pragmas is not None and pragmas.suppresses(
+                    finding.rule, finding.line):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+
+    report.findings.sort(
+        key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

@@ -461,14 +461,21 @@ class LintSyntaxError(Exception):
 
 
 def check_source(source: str, path: str = "<string>",
-                 pragmas: Optional[PragmaSet] = None) -> FileReport:
-    """Analyse ``source`` as the module at ``path``."""
+                 pragmas: Optional[PragmaSet] = None,
+                 scope: Optional[Scope] = None) -> FileReport:
+    """Analyse ``source`` as the module at ``path``.
+
+    ``scope`` overrides the path-derived rule-family scoping; the
+    project-level driver uses this to hand HOT scoping over to the
+    call-graph reachability pass.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
         raise LintSyntaxError(path, error) from error
     pragma_set = pragmas if pragmas is not None else parse_pragmas(source)
-    scope = scope_for_path(path)
+    if scope is None:
+        scope = scope_for_path(path)
     visitor = _Visitor(path, scope, source.splitlines())
     visitor.visit(tree)
     findings: List[Finding] = []

@@ -3,39 +3,47 @@
 Usage::
 
     python -m repro lint                      # whole tree vs baseline
-    python -m repro lint src/repro/phy        # subtree
+    python -m repro lint src/repro/shard      # subtree
+    python -m repro lint --changed            # files touched vs HEAD
     python -m repro lint --json               # machine-readable report
+    python -m repro lint --sarif out.sarif    # SARIF 2.1.0 report file
+    python -m repro lint --ratchet            # also fail on stale baseline
     python -m repro lint --write-baseline     # regenerate the baseline
     python -m repro lint --list-rules         # rule catalogue
 
+Scoped runs (explicit paths, ``--changed``) still index the whole
+``src/repro`` tree when any target lives inside it, so cross-module
+taint flows into or out of the scope are seen; findings are only
+*reported* for the targeted files.  Out-of-tree targets (ad-hoc
+fixtures) form their own project.
+
 Exit status: 0 when no *new* findings (baselined and pragma-suppressed
-findings are fine), 1 when new findings exist, 2 on usage or parse
-errors.
+findings are fine), 1 when new findings exist (or, under ``--ratchet``,
+when the baseline carries stale entries), 2 on usage or parse errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from collections import Counter
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
+from repro.lint.api import ProjectReport, check_project
 from repro.lint.baseline import (
     BASELINE_FILENAME,
+    fingerprint,
     load_baseline,
     partition,
     write_baseline,
 )
-from repro.lint.checker import (
-    Finding,
-    LintSyntaxError,
-    check_file,
-)
 from repro.lint.rules import RULES
+from repro.lint.sarif import sarif_report
 
-JSON_SCHEMA = "repro/maclint@1"
+JSON_SCHEMA = "repro/maclint@2"
 
 
 def repo_root() -> Path:
@@ -81,21 +89,67 @@ def display_path(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def changed_files(root: Path) -> Optional[List[Path]]:
+    """Python files touched vs HEAD (tracked diffs + untracked).
+
+    Returns ``None`` when git itself fails (not a repository, no
+    HEAD...); the caller turns that into a usage error.
+    """
+    listed: List[str] = []
+    for command in (
+            ["git", "diff", "--name-only", "HEAD"],
+            ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                command, cwd=str(root), capture_output=True,
+                text=True, check=True)
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        listed.extend(proc.stdout.splitlines())
+    files: List[Path] = []
+    seen: Set[str] = set()
+    for name in listed:
+        if not name.endswith(".py") or name in seen:
+            continue
+        seen.add(name)
+        path = root / name
+        if path.is_file():
+            files.append(path)
+    return sorted(files)
+
+
 def configure_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories to check "
                              "(default: src/repro)")
+    parser.add_argument("--changed", action="store_true",
+                        help="check only .py files changed vs HEAD "
+                             "(tracked diffs plus untracked files)")
     parser.add_argument("--json", action="store_true",
                         help="print the report as JSON")
+    parser.add_argument("--sarif", metavar="FILE", default=None,
+                        help="also write a SARIF 2.1.0 report to FILE")
+    parser.add_argument("--no-flow", action="store_true",
+                        help="skip the whole-program taint/reachability "
+                             "pass (v1 per-module rules only)")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help=f"baseline file (default: "
                              f"{BASELINE_FILENAME} at the repo root)")
     parser.add_argument("--no-baseline", action="store_true",
                         help="ignore the baseline: report every "
                              "finding as new")
+    parser.add_argument("--ratchet", action="store_true",
+                        help="also fail when baseline entries no "
+                             "longer match any finding (full-tree "
+                             "runs only)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="grandfather all current findings into "
                              "the baseline file and exit 0")
+    parser.add_argument("--allow-baseline-growth", action="store_true",
+                        help="let --write-baseline add entries beyond "
+                             "the existing baseline (it refuses by "
+                             "default: the baseline may only shrink)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
 
@@ -119,25 +173,41 @@ def _list_rules(as_json: bool) -> int:
 
 
 def _collect(files: List[Path], root: Path,
-             ) -> Tuple[List[Finding], List[Finding], List[str]]:
-    findings: List[Finding] = []
-    suppressed: List[Finding] = []
-    errors: List[str] = []
+             flow: bool) -> Tuple[ProjectReport, List[str]]:
+    """Run the project check over ``files``.
+
+    The analysis universe is the target files plus -- whenever any
+    target is inside ``src/repro`` -- the whole tree, so cross-module
+    flows are visible from a scoped run; findings are reported for the
+    targets only.
+    """
+    read_errors: List[str] = []
+    targets: Set[str] = set()
+    sources: List[Tuple[str, str]] = []
+    loaded: Set[str] = set()
     for path in files:
         shown = display_path(path, root)
         try:
-            report = check_file(str(path), display_path=shown)
-        except LintSyntaxError as error:
-            errors.append(f"{shown}: syntax error: {error}")
-            continue
+            text = path.read_text(encoding="utf-8")
         except OSError as error:
-            errors.append(f"{shown}: {error}")
+            read_errors.append(f"{shown}: {error}")
             continue
-        findings.extend(report.findings)
-        suppressed.extend(report.suppressed)
-        errors.extend(f"{shown}: {message}"
-                      for message in report.pragma_errors)
-    return findings, suppressed, errors
+        targets.add(shown)
+        loaded.add(shown)
+        sources.append((shown, text))
+    if flow and any(shown.startswith("src/repro/") for shown in targets):
+        for path in discover_files([root / "src" / "repro"]):
+            shown = display_path(path, root)
+            if shown in loaded:
+                continue
+            try:
+                sources.append(
+                    (shown, path.read_text(encoding="utf-8")))
+                loaded.add(shown)
+            except OSError:
+                continue  # context file only; targets already errored
+    report = check_project(sources, targets=targets, flow=flow)
+    return report, read_errors
 
 
 def run(args: argparse.Namespace) -> int:
@@ -145,23 +215,65 @@ def run(args: argparse.Namespace) -> int:
         return _list_rules(args.json)
 
     root = repo_root()
-    targets = ([Path(path) for path in args.paths]
-               if args.paths else default_targets(root))
-    missing = [str(path) for path in targets if not path.exists()]
-    if missing:
-        print(f"lint: no such path: {', '.join(missing)}",
-              file=sys.stderr)
+    if args.changed and args.paths:
+        print("lint: --changed and explicit paths are mutually "
+              "exclusive", file=sys.stderr)
         return 2
-    files = discover_files(targets)
-    findings, suppressed, errors = _collect(files, root)
+    if args.ratchet and (args.paths or args.changed):
+        print("lint: --ratchet requires a full-tree run (no paths, "
+              "no --changed)", file=sys.stderr)
+        return 2
+
+    if args.changed:
+        changed = changed_files(root)
+        if changed is None:
+            print("lint: --changed requires a git checkout with a "
+                  "HEAD commit", file=sys.stderr)
+            return 2
+        if not changed:
+            print("lint: no changed python files")
+            return 0
+        files = changed
+    else:
+        targets = ([Path(path) for path in args.paths]
+                   if args.paths else default_targets(root))
+        missing = [str(path) for path in targets
+                   if not path.exists()]
+        if missing:
+            print(f"lint: no such path: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+        files = discover_files(targets)
+
+    report, read_errors = _collect(files, root,
+                                   flow=not args.no_flow)
+    errors = read_errors + report.errors
     if errors:
         for message in errors:
             print(f"lint: {message}", file=sys.stderr)
         return 2
+    findings = report.findings
+    suppressed = report.suppressed
 
     baseline_path = Path(args.baseline) if args.baseline \
         else root / BASELINE_FILENAME
     if args.write_baseline:
+        previous: "Counter[str]" = Counter()
+        if baseline_path.exists() and not args.allow_baseline_growth:
+            try:
+                previous = load_baseline(str(baseline_path))
+            except (ValueError, OSError, KeyError) as error:
+                print(f"lint: bad baseline {baseline_path}: {error}",
+                      file=sys.stderr)
+                return 2
+            current = Counter(fingerprint(finding)
+                              for finding in findings)
+            grown = sum((current - previous).values())
+            if grown:
+                print(f"lint: refusing to grow the baseline by "
+                      f"{grown} finding(s); fix them or pass "
+                      f"--allow-baseline-growth", file=sys.stderr)
+                return 1
         count = write_baseline(str(baseline_path), findings)
         print(f"lint: wrote {count} baseline finding(s) to "
               f"{baseline_path}")
@@ -176,25 +288,44 @@ def run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
     new, grandfathered = partition(findings, baseline)
+    stale = sum(baseline.values()) - len(grandfathered)
 
+    if args.sarif:
+        document = sarif_report(new, grandfathered)
+        try:
+            with open(args.sarif, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"lint: cannot write SARIF report: {error}",
+                  file=sys.stderr)
+            return 2
+
+    ratchet_failed = bool(args.ratchet and stale)
     if args.json:
         print(json.dumps({
             "schema": JSON_SCHEMA,
-            "checked_files": len(files),
+            "checked_files": report.checked_files,
             "new": [finding.to_json() for finding in new],
             "baselined": [finding.to_json()
                           for finding in grandfathered],
+            "stale_baseline": stale,
             "suppressed": len(suppressed),
-            "ok": not new,
+            "ok": not new and not ratchet_failed,
         }, indent=2))
     else:
         for finding in new:
             print(finding.format())
         status = "ok" if not new else f"{len(new)} new finding(s)"
-        print(f"lint: {len(files)} files checked, {status} "
+        print(f"lint: {report.checked_files} files checked, {status} "
               f"({len(grandfathered)} baselined, "
               f"{len(suppressed)} pragma-suppressed)")
-    return 1 if new else 0
+        if ratchet_failed:
+            print(f"lint: ratchet: {stale} baseline entr"
+                  f"{'y is' if stale == 1 else 'ies are'} stale -- "
+                  f"shrink the baseline with --write-baseline",
+                  file=sys.stderr)
+    return 1 if (new or ratchet_failed) else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

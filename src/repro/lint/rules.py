@@ -109,6 +109,20 @@ _RULE_LIST: Tuple[Rule, ...] = (
                   "or silently capture parent state.",
     ),
     Rule(
+        id="PAR004",
+        family="PAR",
+        name="pool-reachable-module-state",
+        summary="module-level state mutated inside a function "
+                "reachable from a process-pool task",
+        rationale="The v2 call graph traces every function reachable "
+                  "from a Point task (engine sweeps, shard epochs, "
+                  "fuzz cases). Mutating module-level containers "
+                  "there writes to a per-worker copy: results come to "
+                  "depend on which process ran which point. Pass "
+                  "state through the task config or return it in the "
+                  "task result.",
+    ),
+    Rule(
         id="PROTO001",
         family="PROTO",
         name="paper-constant-literal",
@@ -139,11 +153,49 @@ _RULE_LIST: Tuple[Rule, ...] = (
                   "the observability layer; buffer and write once "
                   "outside the loop, from the CLI layer.",
     ),
+    Rule(
+        id="FLOW101",
+        family="FLOW",
+        name="rng-taint-into-core",
+        summary="value derived from an unseeded random source crosses "
+                "a call boundary into deterministic core code",
+        rationale="Every random-like draw must trace to a named "
+                  "stream of repro.sim.rng.RandomStreams, or one root "
+                  "seed no longer reproduces the run. The taint pass "
+                  "follows draws through helper functions the "
+                  "per-module DET rules cannot see across.",
+    ),
+    Rule(
+        id="FLOW102",
+        family="FLOW",
+        name="clock-taint-at-sink",
+        summary="wall-clock-derived value reaches a journal record, "
+                "digest input, envelope field, or event time",
+        rationale="Replay-exact serve resume and digest-stable epochs "
+                  "require journaled and hashed state to be a pure "
+                  "function of (seed, inputs). A host-clock value "
+                  "reaching such a sink differs on every run. "
+                  "Wall-clock reads that never reach a sink "
+                  "(heartbeats, pacing) are fine.",
+    ),
+    Rule(
+        id="FLOW103",
+        family="FLOW",
+        name="order-taint-at-sink",
+        summary="dict/set-iteration-ordered value reaches a journal "
+                "record, digest input, or envelope field",
+        rationale="Dict insertion order is not canonical across pool "
+                  "workers, shard merges, or replay, and set order "
+                  "depends on PYTHONHASHSEED. Emission-order "
+                  "contracts (the shard coordinator's canonical "
+                  "ordering, journal replay, digests) require "
+                  "sorted() or canonical_order() first.",
+    ),
 )
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _RULE_LIST}
 
-FAMILIES: Tuple[str, ...] = ("DET", "PAR", "PROTO", "HOT")
+FAMILIES: Tuple[str, ...] = ("DET", "PAR", "PROTO", "HOT", "FLOW")
 
 
 #: PROTO001 value table: (value, allowed literal types, timing symbol,

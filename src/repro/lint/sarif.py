@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 output for maclint.
+
+One run, one tool (``maclint``), one result per finding.  Baselined
+findings are included with an ``external`` suppression so SARIF viewers
+show them greyed-out rather than hiding the debt entirely; new findings
+carry no suppression and render at full severity.  ``partialFingerprints``
+reuses the baseline fingerprint (rule | path | line text), so result
+identity is stable across line-number drift for any consumer that
+matches on it.
+
+Paths are emitted relative to ``REPOROOT`` via ``originalUriBaseIds``,
+keeping the file portable between the developer checkout and CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.lint.baseline import fingerprint
+from repro.lint.checker import Finding
+from repro.lint.rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemas/sarif-schema-2.1.0.json")
+
+#: SARIF problem level per rule family.  Everything maclint guards is a
+#: correctness property, so families default to "error"; HOT hygiene is
+#: a performance/cleanliness concern and reports as "warning".
+_FAMILY_LEVELS = {"HOT": "warning"}
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, object]:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {
+            "level": _FAMILY_LEVELS.get(rule.family, "error"),
+        },
+        "properties": {"family": rule.family},
+    }
+
+
+def _result(finding: Finding, rule_index: Dict[str, int],
+            suppressed: bool) -> Dict[str, object]:
+    rule = RULES.get(finding.rule)
+    level = _FAMILY_LEVELS.get(rule.family, "error") if rule else "error"
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "REPOROOT",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+        "partialFingerprints": {
+            "maclint/v1": fingerprint(finding),
+        },
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def sarif_report(new: Sequence[Finding],
+                 baselined: Sequence[Finding] = (),
+                 ) -> Dict[str, object]:
+    """The SARIF 2.1.0 document for a lint run, as a JSON-able dict."""
+    used = sorted({f.rule for f in new} | {f.rule for f in baselined})
+    rule_index = {rule_id: index for index, rule_id in enumerate(used)}
+    results: List[Dict[str, object]] = []
+    for finding in sorted(new, key=lambda f: (f.path, f.line, f.rule)):
+        results.append(_result(finding, rule_index, suppressed=False))
+    for finding in sorted(baselined,
+                          key=lambda f: (f.path, f.line, f.rule)):
+        results.append(_result(finding, rule_index, suppressed=True))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "maclint",
+                    "informationUri":
+                        "docs/STATIC_ANALYSIS.md",
+                    "rules": [_rule_descriptor(rule_id)
+                              for rule_id in used],
+                },
+            },
+            "originalUriBaseIds": {
+                "REPOROOT": {"description": {
+                    "text": "repository root"}},
+            },
+            "results": results,
+        }],
+    }

@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import Optional, Tuple
 
 from repro.core.config import CellConfig
 from repro.shard.config import CityConfig, MobilityConfig, demo_config
@@ -74,7 +75,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 def build_config(args: argparse.Namespace) -> CityConfig:
     if args.demo:
         return demo_config(seed=args.seed)
-    rush = None
+    rush: Optional[Tuple[float, ...]] = None
     if args.rush:
         rush = tuple(float(item) for item in args.rush.split(","))
     return CityConfig(

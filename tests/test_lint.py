@@ -403,7 +403,7 @@ class TestCli:
         exit_code = lint_main(["--json"])
         payload = json.loads(capsys.readouterr().out)
         assert exit_code == 0
-        assert payload["schema"] == "repro/maclint@1"
+        assert payload["schema"] == "repro/maclint@2"
         assert payload["ok"] is True
         assert payload["new"] == []
         assert payload["checked_files"] > 50
@@ -461,7 +461,8 @@ class TestCli:
         catalogue = json.loads(capsys.readouterr().out)
         assert set(catalogue) == set(RULES)
         for entry in catalogue.values():
-            assert entry["family"] in ("DET", "PAR", "PROTO", "HOT")
+            assert entry["family"] in ("DET", "PAR", "PROTO", "HOT",
+                                       "FLOW")
 
     def test_via_repro_cli(self, capsys):
         from repro.cli import main as repro_main
